@@ -1,0 +1,117 @@
+"""Ablations on the randomized solver (Section 3.3 / 3.4).
+
+* iterations vs the paper's 6 k log n expectation bound, across seeds;
+* the 6k^2 sample size vs smaller/larger samples;
+* weighted (multiset) sampling vs plain uniform re-sampling.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import collect_constraints, solve_constraints
+from repro.core.clarkson import default_sample_size
+from repro.core.constraints import ConstraintSystem
+from repro.funcs import MINI_CONFIG, make_pipeline
+
+from .conftest import write_result
+
+
+@pytest.fixture(scope="module")
+def exp2_system(oracle):
+    pipe = make_pipeline("exp2", MINI_CONFIG, oracle)
+    cons, _ = collect_constraints(pipe)
+    K = [(3,), (3,), (3,)]
+    return ConstraintSystem(cons, pipe.shapes((3,)), K, {})
+
+
+def test_iterations_vs_bound(benchmark, exp2_system):
+    k = exp2_system.ncols
+    n = len(exp2_system)
+    bound = 6 * k * math.log(n)
+
+    def run():
+        iters = []
+        for seed in range(8):
+            res = solve_constraints(
+                exp2_system, k=k, max_iterations=200,
+                rng=np.random.default_rng(seed),
+            )
+            assert res.success, seed
+            iters.append(res.stats.iterations)
+        return iters
+
+    iters = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = (
+        f"clarkson iterations on exp2/mini (k={k}, n={n}):\n"
+        f"  per-seed: {iters}\n"
+        f"  mean: {np.mean(iters):.1f}   paper bound 6 k log n = {bound:.0f}"
+    )
+    write_result("ablation_iterations.txt", text)
+    assert np.mean(iters) <= bound
+
+
+def test_sample_size_ablation(benchmark, exp2_system):
+    k = exp2_system.ncols
+
+    def run():
+        rows = {}
+        for label, size in (
+            ("k^2", k * k),
+            ("6k^2 (paper)", default_sample_size(k)),
+            ("12k^2", 12 * k * k),
+        ):
+            iters = []
+            solved = 0
+            for seed in range(5):
+                res = solve_constraints(
+                    exp2_system, k=k, sample_size=size, max_iterations=200,
+                    rng=np.random.default_rng(seed),
+                )
+                solved += res.success
+                iters.append(res.stats.iterations)
+            rows[label] = (size, solved, float(np.mean(iters)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{'sample':<14} {'rows':>6} {'solved/5':>9} {'mean iters':>11}"]
+    for label, (size, solved, mean_it) in rows.items():
+        lines.append(f"{label:<14} {size:>6} {solved:>9} {mean_it:>11.1f}")
+    write_result("ablation_sample_size.txt", "\n".join(lines))
+    assert rows["6k^2 (paper)"][1] == 5
+    assert rows["12k^2"][1] == 5
+    # Bigger samples converge in no more iterations.
+    assert rows["12k^2"][2] <= rows["6k^2 (paper)"][2] + 2
+
+
+def test_weighted_vs_uniform(benchmark, exp2_system):
+    k = exp2_system.ncols
+
+    def run():
+        out = {}
+        for weighted in (True, False):
+            iters = []
+            solved = 0
+            for seed in range(5):
+                res = solve_constraints(
+                    exp2_system, k=k, max_iterations=200, weighted=weighted,
+                    rng=np.random.default_rng(seed),
+                )
+                solved += res.success
+                iters.append(res.stats.iterations)
+            out[weighted] = (solved, float(np.mean(iters)))
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = (
+        "weighted (Clarkson multiset) vs uniform sampling on exp2/mini:\n"
+        f"  weighted: solved {out[True][0]}/5, mean iterations {out[True][1]:.1f}\n"
+        f"  uniform : solved {out[False][0]}/5, mean iterations {out[False][1]:.1f}"
+    )
+    write_result("ablation_weighted.txt", text)
+    assert out[True][0] == 5
+    # The multiset weighting is the convergence mechanism: it must not be
+    # slower than naive uniform re-sampling.
+    if out[False][0] == 5:
+        assert out[True][1] <= out[False][1] * 1.5

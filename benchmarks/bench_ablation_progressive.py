@@ -1,0 +1,66 @@
+"""Ablation: what does progressiveness cost?
+
+The progressive constraints (Section 3.2) force the *shared* low-order
+coefficients to serve the small formats on their own.  This ablation
+compares, per function, the term counts of
+
+  * the progressive polynomial (what the generator shipped), vs
+  * a non-progressive single polynomial for the largest format only
+    (every smaller format would evaluate all terms, as in RLibm-All).
+
+The paper's observation: progressiveness is (nearly) free in terms of the
+largest representation's term count, while the smaller formats gain
+truncated evaluation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import collect_constraints, solve_constraints
+from repro.core.constraints import ConstraintSystem
+from repro.funcs import MINI_CONFIG, make_pipeline
+from repro.mp import FUNCTION_NAMES
+
+from .conftest import write_result
+
+#: Representative subset (full sweep is minutes of LP time).
+ABLATION_FNS = ("log2", "exp2", "sinpi")
+
+
+def minimal_flat_terms(pipe, cons, max_terms=8) -> int:
+    """Smallest k with a feasible non-progressive system."""
+    levels = pipe.family.levels
+    for k in range(1, max_terms + 1):
+        tc = [tuple(k for _ in pipe.poly_kinds)] * levels
+        system = ConstraintSystem(cons, pipe.shapes(tc[-1]), tc, {})
+        res = solve_constraints(
+            system, k=system.ncols, max_iterations=40,
+            rng=np.random.default_rng(0),
+        )
+        if res.success:
+            return k
+    return -1
+
+
+def test_progressive_cost(benchmark, oracle, prog_lib):
+    def run():
+        rows = {}
+        for name in ABLATION_FNS:
+            pipe = make_pipeline(name, MINI_CONFIG, oracle)
+            cons, _ = collect_constraints(pipe)
+            flat_k = minimal_flat_terms(pipe, cons)
+            prog_counts = prog_lib.functions[name].pieces[0].poly.term_counts
+            rows[name] = (flat_k, [c[0] for c in prog_counts])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{'fn':<7} {'flat k':>7}  progressive terms (small..large)"]
+    for name, (flat_k, counts) in rows.items():
+        lines.append(f"{name:<7} {flat_k:>7}  {counts}")
+    write_result("ablation_progressive.txt", "\n".join(lines))
+    for name, (flat_k, counts) in rows.items():
+        assert flat_k > 0
+        # Progressiveness costs at most one extra term at the top...
+        assert counts[-1] <= flat_k + 1, name
+        # ...and the smallest format never evaluates more than the flat k.
+        assert counts[0] <= flat_k, name

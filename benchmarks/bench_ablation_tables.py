@@ -1,0 +1,53 @@
+"""Ablation: range-reduction table width vs polynomial complexity.
+
+The paper's design point couples the log-family table width J to the
+smallest format's mantissa (J = 7 = bfloat16), which is what makes the
+smallest format's reduced input identically zero (1-term evaluation).
+This ablation regenerates log2 for the tiny family at several J values
+and reports the trade: wider tables -> smaller reduced domain -> fewer
+polynomial terms, at the cost of 2^J-entry tables."""
+
+import pytest
+
+from repro.core import generate_function
+from repro.fp import TINY_FAMILY
+from repro.funcs import FamilyConfig, make_pipeline
+from repro.mp import Oracle
+
+from .conftest import write_result
+
+
+def test_log_table_width_tradeoff(benchmark, oracle):
+    def run():
+        rows = {}
+        for J in (2, 3, 4):
+            fam = FamilyConfig(
+                TINY_FAMILY, log_table_bits=J, exp_table_bits=3,
+                trig_table_bits=5, name=f"tiny_j{J}",
+            )
+            pipe = make_pipeline("log2", fam, oracle)
+            gen = generate_function(pipe)
+            counts = gen.pieces[0].poly.term_counts
+            table_bytes = 2 * (1 << J) * 8  # invF + log2F doubles
+            rows[J] = (
+                [c[0] for c in counts],
+                gen.storage_bytes,
+                table_bytes,
+                gen.num_pieces,
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{'J':>3} {'terms s..l':>12} {'coeff B':>8} {'table B':>8} {'pieces':>7}"]
+    for J, (counts, coeff_b, table_b, pieces) in sorted(rows.items()):
+        lines.append(
+            f"{J:>3} {str(counts):>12} {coeff_b:>8} {table_b:>8} {pieces:>7}"
+        )
+    write_result("ablation_table_width.txt", "\n".join(lines))
+
+    # Wider tables never need more polynomial terms for the top format.
+    tops = [rows[J][0][-1] for J in sorted(rows)]
+    assert tops == sorted(tops, reverse=True) or len(set(tops)) == 1
+    # At J = smallest mantissa (3 for T8), the smallest format needs at
+    # most one term.
+    assert rows[3][0][0] <= 1 or rows[4][0][0] <= 1

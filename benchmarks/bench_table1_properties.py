@@ -1,0 +1,96 @@
+"""Table 1: properties of the generated polynomials vs RLibm-All.
+
+For each of the ten functions: number of (piecewise) polynomials, maximum
+degree and per-format term counts of the progressive polynomial, number
+of special-case inputs, coefficient storage in bytes, and the storage
+reduction over the RLibm-All baseline.  The paper reports a 62x average
+reduction; the shape to reproduce is "one or a few pieces vs hundreds,
+order(s)-of-magnitude less coefficient storage".
+"""
+
+import pytest
+
+from repro.mp import FUNCTION_NAMES
+
+from .conftest import write_result
+
+
+def build_table1(prog_lib, rlibm_all_lib):
+    lines = []
+    header = (
+        f"{'fn':<7}|{'all:pieces':>10} {'deg':>4} {'terms':>6} {'bytes':>7}"
+        f"|{'prog:pieces':>11} {'deg':>4} "
+        f"{'terms L2/L1/L0':>15} {'spec':>5} {'bytes':>6}|{'mem reduction':>13}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    reductions = []
+    for name in FUNCTION_NAMES:
+        prog = prog_lib.functions[name]
+        base = rlibm_all_lib.functions[name]
+        ppoly = prog.pieces[0].poly
+        terms = "/".join(
+            ",".join(str(t) for t in ppoly.term_counts[lvl])
+            for lvl in reversed(range(len(ppoly.term_counts)))
+        )
+        base_terms = ",".join(str(t) for t in base.pieces[0].poly.term_counts[-1])
+        red = base.storage_bytes / prog.storage_bytes
+        reductions.append(red)
+        lines.append(
+            f"{name:<7}|{base.num_pieces:>10} {base.max_degree():>4} "
+            f"{base_terms:>6} {base.storage_bytes:>7}"
+            f"|{prog.num_pieces:>11} {prog.max_degree():>4} "
+            f"{terms:>15} {len(prog.specials):>5} {prog.storage_bytes:>6}"
+            f"|{red:>12.1f}x"
+        )
+    avg = sum(reductions) / len(reductions)
+    lines.append("-" * len(header))
+    lines.append(f"average storage reduction: {avg:.1f}x")
+    return "\n".join(lines), reductions
+
+
+def test_table1_properties(benchmark, prog_lib, rlibm_all_lib):
+    text, reductions = benchmark(build_table1, prog_lib, rlibm_all_lib)
+    write_result("table1.txt", text)
+    # Paper shape: every function needs less storage progressively, most
+    # by an order of magnitude; piece counts collapse to <= 4.
+    assert all(r > 1 for r in reductions)
+    assert sum(r >= 8 for r in reductions) >= 6
+    for name in FUNCTION_NAMES:
+        assert prog_lib.functions[name].num_pieces <= 4
+        assert len(prog_lib.functions[name].specials) <= 4 * prog_lib.functions[name].num_pieces
+
+
+def test_progressive_term_structure(benchmark, prog_lib):
+    def check():
+        gaps = 0
+        for name in FUNCTION_NAMES:
+            counts = prog_lib.functions[name].pieces[0].poly.term_counts
+            for lo, hi in zip(counts, counts[1:]):
+                assert all(a <= b for a, b in zip(lo, hi))
+            if counts[0] != counts[-1]:
+                gaps += 1
+        return gaps
+
+    gaps = benchmark(check)
+    # Progressive performance requires genuinely fewer terms for the
+    # smaller formats on a good share of the functions.
+    assert gaps >= 4
+
+
+def test_generation_stats_recorded(benchmark, prog_lib):
+    def stats():
+        return {
+            name: prog_lib.functions[name].stats.wall_seconds
+            for name in FUNCTION_NAMES
+        }
+
+    times = benchmark(stats)
+    text = "\n".join(
+        f"{name:<7} generated in {sec:7.1f}s "
+        f"({prog_lib.functions[name].stats.constraints} constraints, "
+        f"{prog_lib.functions[name].stats.lp_solves} LP solves)"
+        for name, sec in times.items()
+    )
+    write_result("generation_times.txt", text)
+    assert all(t > 0 for t in times.values())

@@ -1,0 +1,96 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+The benchmarks operate on the mini family (P12/P14/P16 = IEEE half), on
+which the entire pipeline runs exhaustively.  Artifacts must exist first:
+
+    python examples/generate_libm.py --family mini --baseline prog
+    python examples/generate_libm.py --family mini --baseline all
+    python examples/generate_libm.py --family mini --baseline wide
+
+Benchmarks that need missing artifacts are skipped with a pointer to the
+command above.  Tables and series are printed and also written under
+``benchmarks/results/`` (consumed by EXPERIMENTS.md).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.funcs import MINI_CONFIG, make_pipeline
+from repro.libm.artifacts import load_generated
+from repro.libm.baselines import (
+    CrlibmStyleLibrary,
+    GeneratedLibrary,
+    build_minimax_library,
+    wide_family_for,
+)
+from repro.mp import FUNCTION_NAMES, Oracle
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / name).write_text(text)
+    print(f"\n{text}")
+
+
+@pytest.fixture(scope="session")
+def oracle():
+    return Oracle()
+
+
+def _load_family(family_name: str, config, oracle, progressive=True, label=""):
+    pipelines = {}
+    functions = {}
+    for name in FUNCTION_NAMES:
+        try:
+            functions[name] = load_generated(name, family_name)
+        except FileNotFoundError:
+            pytest.skip(
+                f"missing artifact {family_name}_{name}.json — run "
+                "`python examples/generate_libm.py` first (see benchmarks/conftest.py)"
+            )
+        pipelines[name] = make_pipeline(name, config, oracle)
+    return GeneratedLibrary(
+        pipelines, functions, label=label or family_name, progressive=progressive
+    )
+
+
+@pytest.fixture(scope="session")
+def prog_lib(oracle):
+    """RLIBM-Prog itself (progressive, mini family)."""
+    return _load_family("mini", MINI_CONFIG, oracle, True, "rlibm-prog")
+
+
+@pytest.fixture(scope="session")
+def rlibm_all_lib(oracle):
+    """The RLibm-All piecewise baseline."""
+    return _load_family("miniall", MINI_CONFIG, oracle, False, "rlibm-all")
+
+
+# The minimax stand-ins model *double* libraries repurposed for the
+# family: their kernels are far more accurate than the largest family
+# format's ulp (as glibc/Intel double libm are vs float32), so failures
+# only surface on inputs whose true result sits near a rounding boundary
+# — exactly the paper's exhaustive-search finding, compressed here into
+# boundary-targeted search (bench_table2_correctness.hard_inputs).
+@pytest.fixture(scope="session")
+def glibc_lib(oracle):
+    return build_minimax_library(
+        MINI_CONFIG, FUNCTION_NAMES, extra_bits=14, label="glibc-like", oracle=oracle
+    )
+
+
+@pytest.fixture(scope="session")
+def intel_lib(oracle):
+    return build_minimax_library(
+        MINI_CONFIG, FUNCTION_NAMES, extra_bits=18, label="intel-like", oracle=oracle
+    )
+
+
+@pytest.fixture(scope="session")
+def crlibm_lib(oracle):
+    wide_family = wide_family_for(MINI_CONFIG)
+    wide = _load_family("miniwide", wide_family, oracle, False, "crlibm-wide")
+    return CrlibmStyleLibrary(wide, wide_family.largest, label="crlibm-like")

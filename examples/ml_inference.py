@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Progressive performance on an ML-style workload.
+
+The paper motivates progressive polynomials with low-bitwidth inference
+formats (bfloat16, tensorfloat32): a softmax layer needs exp, a
+log-likelihood needs ln — and when activations live in a small format,
+only the first few polynomial terms are required for *correctly rounded*
+results.
+
+This example runs a softmax + cross-entropy pipeline over the mini
+family's formats (P12 / P14 / P16-half analogues of bf16 / tf32 / f32),
+timing the vectorized generated functions at each progressive level and
+checking that every elementary-function result is correctly rounded for
+its format.
+
+Requires the mini artifacts (python examples/generate_libm.py).
+"""
+
+import time
+
+import numpy as np
+
+from repro import MINI_CONFIG, Oracle, RoundingMode, round_real
+from repro.fp import FPValue, exact_bits
+from repro.funcs import make_pipeline
+from repro.libm.artifacts import load_generated
+from repro.libm.vectorized import VectorizedFunction
+from fractions import Fraction
+
+
+def quantize(x: np.ndarray, fmt) -> np.ndarray:
+    """Round doubles to a family format (values stay doubles)."""
+    out = np.empty_like(x)
+    for i, v in enumerate(x):
+        out[i] = round_real(Fraction(float(v)), fmt, RoundingMode.RNE).to_float()
+    return out
+
+
+def main() -> None:
+    oracle = Oracle()
+    exp_pipe = make_pipeline("exp", MINI_CONFIG, oracle)
+    ln_pipe = make_pipeline("ln", MINI_CONFIG, oracle)
+    vexp = VectorizedFunction(exp_pipe, load_generated("exp", "mini"))
+    vln = VectorizedFunction(ln_pipe, load_generated("ln", "mini"))
+
+    rng = np.random.default_rng(0)
+    logits = rng.normal(0.0, 3.0, size=200_000)
+
+    # Warm up the kernels so the first timed row isn't paying numpy's
+    # one-time costs.
+    warm = np.linspace(0.1, 1.0, 1024)
+    for level in range(MINI_CONFIG.levels):
+        vexp(warm, level)
+        vln(warm, level)
+
+    print("softmax + NLL with correctly rounded exp/ln, per inference format\n")
+    print(f"{'format':>8} {'exp terms':>10} {'ln terms':>9} {'time':>10}  NLL")
+    base_time = None
+    for level, fmt in enumerate(MINI_CONFIG.formats):
+        x = quantize(logits[:4096], fmt)  # activations in the small format
+        x = np.tile(x, 50)  # a bigger batch for stable timing
+        t0 = time.perf_counter()
+        e = vexp(x, level)
+        z = float(np.sum(e))
+        p = e / z
+        nll = -float(np.mean(vln(np.maximum(p, 1e-30), level)))
+        dt = time.perf_counter() - t0
+        if base_time is None:
+            base_time = dt
+        exp_terms = vexp.term_counts[level][0]
+        ln_terms = vln.term_counts[level][0]
+        print(
+            f"{fmt.display_name:>8} {exp_terms:>10} {ln_terms:>9} "
+            f"{dt * 1e3:9.1f}ms  {nll:.4f}"
+        )
+
+    # Spot-check correct rounding of the elementary function results.
+    print("\nspot-checking correctly rounded exp outputs per format...")
+    for level, fmt in enumerate(MINI_CONFIG.formats):
+        xs = quantize(rng.normal(0.0, 2.0, size=200), fmt)
+        ys = vexp(xs, level)
+        for xd, yd in zip(xs, ys):
+            want = oracle.correctly_rounded(
+                "exp", Fraction(float(xd)), fmt, RoundingMode.RNE
+            )
+            got = round_real(Fraction(float(yd)), fmt, RoundingMode.RNE)
+            assert got.bits == want.bits, (xd, yd)
+    print("all spot checks correctly rounded.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: generate a progressive polynomial and use it.
+
+Generates exp2 for the 'tiny' format family (T8 = F(8,4) nested in
+T10 = F(10,4)) from scratch — oracle, rounding intervals, randomized
+Clarkson solver — then verifies every input of every format against the
+oracle for all five IEEE rounding modes, and prints the polynomial.
+
+Runs in a few seconds; the same API generates the mini (IEEE half
+precision) and paper (bfloat16/tensorfloat32/float32) families.
+"""
+
+from repro import (
+    IEEE_MODES,
+    Oracle,
+    RlibmProg,
+    TINY_CONFIG,
+    generate_function,
+    make_pipeline,
+    verify_exhaustive,
+)
+from repro.libm.baselines import GeneratedLibrary
+
+
+def main() -> None:
+    oracle = Oracle()
+
+    print("Generating a progressive polynomial for exp2 on the tiny family")
+    pipeline = make_pipeline("exp2", TINY_CONFIG, oracle)
+    gen = generate_function(pipeline, progress=lambda m: print(f"  {m}"))
+
+    poly = gen.pieces[0].poly
+    print(f"\nGenerated {gen.num_pieces} piece(s), "
+          f"{gen.storage_bytes} bytes of coefficients, "
+          f"{len(gen.specials)} special-case input(s)")
+    for level, fmt in enumerate(TINY_CONFIG.formats):
+        terms = poly.term_counts[level]
+        print(f"  {fmt.display_name}: evaluates {terms} term(s) "
+              f"-> degree {poly.max_degree(level)}")
+    print("  coefficients:")
+    for q, coeffs in enumerate(poly.double_coefficients):
+        for i, c in enumerate(coeffs):
+            print(f"    C{i + 1} = {c!r}")
+
+    # Use it as a math library.
+    lib = RlibmProg(TINY_CONFIG, oracle)
+    lib.add_generated(gen)
+    x = 0.71875
+    print(f"\nexp2({x}):")
+    for level, fmt in enumerate(TINY_CONFIG.formats):
+        y = lib.exp2(x, level=level)
+        print(f"  {fmt.display_name} path ({poly.term_counts[level][0]} terms): {y!r}")
+
+    # Exhaustive verification: every input, all five IEEE modes.
+    adapter = GeneratedLibrary({"exp2": pipeline}, {"exp2": gen}, label="rlibm-prog")
+    print("\nExhaustive verification against the oracle:")
+    for level, fmt in enumerate(TINY_CONFIG.formats):
+        report = verify_exhaustive(adapter, "exp2", fmt, level, oracle, IEEE_MODES)
+        print(f"  {report.summary()}")
+        assert report.all_correct
+
+
+if __name__ == "__main__":
+    main()

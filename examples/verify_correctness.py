@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Paper-grade exhaustive verification of the generated library.
+
+For every function and every family format, checks EVERY input bit
+pattern under all five IEEE rounding modes (and optionally round-to-odd)
+against the arbitrary-precision oracle.  This is the measurement behind
+the RLIBM-Prog column of Table 2.
+
+    python examples/verify_correctness.py                  # mini family
+    python examples/verify_correctness.py --family tiny
+    python examples/verify_correctness.py --functions exp2 log2
+    python examples/verify_correctness.py --with-rto
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.fp import IEEE_MODES, RoundingMode
+from repro.funcs import MINI_CONFIG, TINY_CONFIG, make_pipeline
+from repro.libm.artifacts import load_generated
+from repro.libm.baselines import GeneratedLibrary
+from repro.mp import FUNCTION_NAMES, Oracle
+from repro.verify import verify_exhaustive
+
+FAMILIES = {"tiny": TINY_CONFIG, "mini": MINI_CONFIG}
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--family", choices=sorted(FAMILIES), default="mini")
+    ap.add_argument("--functions", nargs="*", default=list(FUNCTION_NAMES))
+    ap.add_argument("--with-rto", action="store_true",
+                    help="also check the round-to-odd mode")
+    args = ap.parse_args(argv)
+
+    config = FAMILIES[args.family]
+    oracle = Oracle()
+    modes = list(IEEE_MODES) + ([RoundingMode.RTO] if args.with_rto else [])
+
+    total_checks = 0
+    total_wrong = 0
+    t0 = time.perf_counter()
+    for name in args.functions:
+        try:
+            gen = load_generated(name, config.name)
+        except FileNotFoundError:
+            print(f"{name}: no artifact — run examples/generate_libm.py first")
+            return 1
+        pipe = make_pipeline(name, config, oracle)
+        lib = GeneratedLibrary({name: pipe}, {name: gen}, label="rlibm-prog")
+        for level, fmt in enumerate(config.formats):
+            report = verify_exhaustive(lib, name, fmt, level, oracle, modes)
+            total_checks += report.total_checks
+            total_wrong += report.wrong
+            print(report.summary(), flush=True)
+            for f in report.failures[:4]:
+                print(
+                    f"    input {f.input_bits:#x} mode {f.mode.value}: "
+                    f"got {f.got_bits:#x} want {f.want_bits:#x}"
+                )
+    dt = time.perf_counter() - t0
+    print(
+        f"\n{total_checks} checks in {dt:.0f}s: "
+        f"{'ALL CORRECTLY ROUNDED' if total_wrong == 0 else f'{total_wrong} WRONG'}"
+    )
+    return 0 if total_wrong == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,7 @@
+"""Legacy setup shim: lets `pip install -e .` work without the `wheel`
+package (offline environments where PEP 660 editable builds are
+unavailable).  All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

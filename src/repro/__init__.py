@@ -1,0 +1,96 @@
+"""repro: a reproduction of RLIBM-Prog (PLDI 2022).
+
+Progressive polynomial approximations that produce correctly rounded
+results for multiple floating-point representations and rounding modes,
+generated with a fast randomized (Clarkson-style) linear program solver.
+
+Quickstart::
+
+    from repro import (
+        MINI_CONFIG, Oracle, make_pipeline, generate_function, RlibmProg,
+    )
+
+    oracle = Oracle()
+    pipe = make_pipeline("exp2", MINI_CONFIG, oracle)
+    gen = generate_function(pipe)            # exact LP + Clarkson search
+    lib = RlibmProg(MINI_CONFIG, oracle)
+    lib.add_generated(gen)
+    y = lib.exp2(0.71875)                    # double, correctly rounded
+"""
+
+from .fp import (
+    BFLOAT16,
+    FLOAT16,
+    FLOAT32,
+    FLOAT64,
+    FPFormat,
+    FPValue,
+    IEEE_MODES,
+    Interval,
+    Kind,
+    MINI_FAMILY,
+    PAPER_FAMILY,
+    RoundingMode,
+    TENSORFLOAT32,
+    round_real,
+    rounding_interval,
+)
+from .mp import FUNCTION_NAMES, Oracle
+from .core import (
+    ClarksonResult,
+    GeneratedFunction,
+    ProgressivePolynomial,
+    PolyShape,
+    ReducedConstraint,
+    evaluate_generated,
+    generate_function,
+    solve_constraints,
+)
+from .funcs import (
+    FamilyConfig,
+    MINI_CONFIG,
+    PAPER_CONFIG,
+    TINY_CONFIG,
+    make_pipeline,
+)
+from .libm import RlibmProg, load_generated, save_generated
+from .verify import verify_exhaustive
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BFLOAT16",
+    "ClarksonResult",
+    "FLOAT16",
+    "FLOAT32",
+    "FLOAT64",
+    "FPFormat",
+    "FPValue",
+    "FUNCTION_NAMES",
+    "FamilyConfig",
+    "GeneratedFunction",
+    "IEEE_MODES",
+    "Interval",
+    "Kind",
+    "MINI_CONFIG",
+    "MINI_FAMILY",
+    "Oracle",
+    "PAPER_CONFIG",
+    "PAPER_FAMILY",
+    "PolyShape",
+    "ProgressivePolynomial",
+    "ReducedConstraint",
+    "RlibmProg",
+    "RoundingMode",
+    "TENSORFLOAT32",
+    "TINY_CONFIG",
+    "evaluate_generated",
+    "generate_function",
+    "load_generated",
+    "make_pipeline",
+    "round_real",
+    "rounding_interval",
+    "save_generated",
+    "solve_constraints",
+    "verify_exhaustive",
+]

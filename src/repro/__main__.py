@@ -1,0 +1,16 @@
+"""python -m repro entry point."""
+
+import sys
+
+from .cli import main
+
+try:
+    code = main()
+except BrokenPipeError:  # output piped into head etc.
+    import os
+
+    # Re-open stdout on devnull so the interpreter's shutdown flush
+    # doesn't raise a second time.
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    code = 0
+sys.exit(code)

@@ -1,0 +1,164 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+    generate  — produce progressive-polynomial artifacts for a family
+    verify    — exhaustively check artifacts against the oracle
+    eval      — evaluate a generated function at given inputs
+    codegen   — emit C code for a generated function
+    info      — show artifact properties (Table-1 style row)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from fractions import Fraction
+
+from .funcs import MINI_CONFIG, PAPER_CONFIG, TINY_CONFIG, make_pipeline
+from .libm.artifacts import available_artifacts, load_generated
+from .mp import FUNCTION_NAMES, Oracle
+
+FAMILIES = {"tiny": TINY_CONFIG, "mini": MINI_CONFIG, "paper": PAPER_CONFIG}
+
+
+def _family_of(name: str):
+    try:
+        return FAMILIES[name]
+    except KeyError:
+        raise SystemExit(f"unknown family {name!r}; choose from {sorted(FAMILIES)}")
+
+
+def cmd_generate(args) -> int:
+    """`generate`: produce and save progressive-polynomial artifacts."""
+    from .core import generate_function
+    from .libm.artifacts import save_generated
+
+    config = _family_of(args.family)
+    oracle = Oracle()
+    for fn in args.functions:
+        pipe = make_pipeline(fn, config, oracle)
+        gen = generate_function(
+            pipe, max_terms=args.max_terms, seed=args.seed,
+            progress=lambda m: print(f"  {m}", flush=True),
+        )
+        path = save_generated(gen, args.out_dir)
+        print(f"{fn}: {gen.num_pieces} piece(s), {gen.storage_bytes} bytes -> {path}")
+    return 0
+
+
+def cmd_verify(args) -> int:
+    """`verify`: exhaustively check artifacts against the oracle."""
+    from .libm.baselines import GeneratedLibrary
+    from .fp import IEEE_MODES
+    from .verify import verify_exhaustive
+
+    config = _family_of(args.family)
+    oracle = Oracle()
+    wrong = 0
+    for fn in args.functions:
+        gen = load_generated(fn, config.name, args.dir)
+        pipe = make_pipeline(fn, config, oracle)
+        lib = GeneratedLibrary({fn: pipe}, {fn: gen}, label="rlibm-prog")
+        for level, fmt in enumerate(config.formats):
+            rep = verify_exhaustive(lib, fn, fmt, level, oracle, IEEE_MODES)
+            print(rep.summary())
+            wrong += rep.wrong
+    return 0 if wrong == 0 else 1
+
+
+def cmd_eval(args) -> int:
+    """`eval`: evaluate a generated function at given inputs."""
+    from .core import evaluate_generated
+    from .fp import RoundingMode, round_real
+
+    config = _family_of(args.family)
+    oracle = Oracle()
+    gen = load_generated(args.function, config.name, args.dir)
+    pipe = make_pipeline(args.function, config, oracle)
+    level = args.level if args.level is not None else config.levels - 1
+    fmt = config.formats[level]
+    for token in args.inputs:
+        x = float(token)
+        y = evaluate_generated(pipe, gen, x, level)
+        try:
+            rounded = round_real(Fraction(y), fmt, RoundingMode.RNE).value
+        except (ValueError, OverflowError):
+            rounded = y
+        print(f"{args.function}({x}) = {y!r}  [{fmt.display_name}: {rounded}]")
+    return 0
+
+
+def cmd_codegen(args) -> int:
+    """`codegen`: print C code for a generated function."""
+    from .libm.codegen import emit_function
+
+    config = _family_of(args.family)
+    gen = load_generated(args.function, config.name, args.dir)
+    pipe = make_pipeline(args.function, config, Oracle())
+    sys.stdout.write(emit_function(pipe, gen))
+    return 0
+
+
+def cmd_info(args) -> int:
+    """`info`: Table-1-style listing of available artifacts."""
+    arts = available_artifacts(args.dir)
+    if not arts:
+        print("no artifacts found; run `python -m repro generate` first")
+        return 1
+    print(f"{'family':<10} {'fn':<7} {'pieces':>7} {'deg':>4} {'terms':>18} "
+          f"{'specials':>9} {'bytes':>6}")
+    for art in arts:
+        fam, fn = art["family"], art["name"]
+        gen = load_generated(fn, fam, args.dir)
+        counts = gen.pieces[0].poly.term_counts
+        terms = "/".join(",".join(map(str, k)) for k in counts)
+        print(
+            f"{fam:<10} {fn:<7} {gen.num_pieces:>7} {gen.max_degree():>4} "
+            f"{terms:>18} {len(gen.specials):>9} {gen.storage_bytes:>6}"
+        )
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI dispatcher; returns a process exit code."""
+    ap = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="generate progressive polynomials")
+    g.add_argument("--family", default="mini")
+    g.add_argument("--functions", nargs="*", default=list(FUNCTION_NAMES))
+    g.add_argument("--max-terms", type=int, default=8)
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("--out-dir", default=None)
+    g.set_defaults(func=cmd_generate)
+
+    v = sub.add_parser("verify", help="exhaustively verify artifacts")
+    v.add_argument("--family", default="mini")
+    v.add_argument("--functions", nargs="*", default=list(FUNCTION_NAMES))
+    v.add_argument("--dir", default=None)
+    v.set_defaults(func=cmd_verify)
+
+    e = sub.add_parser("eval", help="evaluate a generated function")
+    e.add_argument("function")
+    e.add_argument("inputs", nargs="+")
+    e.add_argument("--family", default="mini")
+    e.add_argument("--level", type=int, default=None)
+    e.add_argument("--dir", default=None)
+    e.set_defaults(func=cmd_eval)
+
+    c = sub.add_parser("codegen", help="emit C code for a generated function")
+    c.add_argument("function")
+    c.add_argument("--family", default="mini")
+    c.add_argument("--dir", default=None)
+    c.set_defaults(func=cmd_codegen)
+
+    i = sub.add_parser("info", help="list artifact properties")
+    i.add_argument("--dir", default=None)
+    i.set_defaults(func=cmd_info)
+
+    args = ap.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry
+    sys.exit(main())

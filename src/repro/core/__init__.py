@@ -1,0 +1,44 @@
+"""The paper's core contribution: progressive polynomial generation.
+
+Constraint construction (Section 3.2), Efraimidis-Spirakis weighted
+sampling, the randomized Clarkson solver (Section 3.3, Algorithms 1-2),
+and the outer term-count / sub-domain / special-case search.
+"""
+
+from .clarkson import ClarksonResult, ClarksonStats, default_sample_size, solve_constraints
+from .constraints import ConstraintSystem, ReducedConstraint
+from .polynomial import PolyShape, ProgressivePolynomial, eval_double_horner, eval_exact
+from .sampling import WeightState, weighted_sample_indices
+from .search import (
+    GeneratedFunction,
+    GenerationError,
+    GenerationStats,
+    Piece,
+    collect_constraints,
+    evaluate_generated,
+    generate_function,
+    runtime_interval_failures,
+)
+
+__all__ = [
+    "ClarksonResult",
+    "ClarksonStats",
+    "ConstraintSystem",
+    "GeneratedFunction",
+    "GenerationError",
+    "GenerationStats",
+    "Piece",
+    "PolyShape",
+    "ProgressivePolynomial",
+    "ReducedConstraint",
+    "WeightState",
+    "collect_constraints",
+    "default_sample_size",
+    "evaluate_generated",
+    "eval_double_horner",
+    "eval_exact",
+    "generate_function",
+    "runtime_interval_failures",
+    "solve_constraints",
+    "weighted_sample_indices",
+]

@@ -1,0 +1,143 @@
+"""The paper's fast randomized constraint solver (Algorithms 1 and 2).
+
+Clarkson's method for linear programs in low dimensions, extended to the
+progressive-polynomial setting: sample ``6k^2`` constraints by weight,
+solve the sample *exactly* with the rational LP solver, count violations
+over the full multiset; on a "lucky" iteration — violated weight at most
+``1/(3k-1)`` of the satisfied weight — double the violated constraints'
+weights.  When the system is full-rank this finds a polynomial satisfying
+every constraint in ``6 k log n`` iterations in expectation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..lp.model import solve_margin_lp
+from .constraints import ConstraintSystem
+from .sampling import WeightState, weighted_sample_indices
+
+
+@dataclass
+class ClarksonStats:
+    """Per-run counters (iterations, lucky steps, LP solves)."""
+
+    iterations: int = 0
+    lucky_iterations: int = 0
+    lp_solves: int = 0
+    infeasible_samples: int = 0
+    violation_history: List[int] = field(default_factory=list)
+
+
+@dataclass
+class ClarksonResult:
+    """Outcome of one randomized solve.
+
+    ``coefficients`` is the best (fewest-violations) exact solution seen;
+    ``violations`` the indices of constraints it violates (empty on full
+    success).  ``feasible`` is False when some *sample* was infeasible,
+    which proves the whole system infeasible.
+    """
+
+    coefficients: Optional[List[Fraction]]
+    violations: np.ndarray
+    margin: Fraction
+    feasible: bool
+    stats: ClarksonStats
+
+    @property
+    def success(self) -> bool:
+        """True when a polynomial satisfying every constraint was found."""
+        return self.coefficients is not None and len(self.violations) == 0
+
+
+def default_sample_size(k: int) -> int:
+    """The paper's sample size: 6 k^2 constraints."""
+    return 6 * k * k
+
+
+def solve_constraints(
+    system: ConstraintSystem,
+    k: Optional[int] = None,
+    max_iterations: int = 64,
+    sample_size: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    weighted: bool = True,
+    stop_on_infeasible: bool = True,
+) -> ClarksonResult:
+    """Run the randomized solver on a built constraint system.
+
+    ``k`` is the number of unknowns (the paper's "terms of the largest
+    representation"); it controls both the default sample size ``6k^2``
+    and the lucky-iteration threshold ``1/(3k-1)``.  Setting
+    ``weighted=False`` disables the multiset weighting (ablation).
+    """
+    rng = rng or np.random.default_rng(0)
+    k = k or system.ncols
+    size = sample_size or default_sample_size(k)
+    stats = ClarksonStats()
+    n = len(system)
+    if n == 0:
+        return ClarksonResult(
+            [Fraction(0)] * system.ncols, np.array([], dtype=np.int64),
+            Fraction(1), True, stats,
+        )
+    state = WeightState(n)
+    best: Optional[List[Fraction]] = None
+    best_viol: Optional[np.ndarray] = None
+    best_margin = Fraction(0)
+    lucky_denom = 3 * k - 1
+    feasible = True
+    consecutive_infeasible = 0
+
+    while stats.iterations < max_iterations:
+        stats.iterations += 1
+        idx = (
+            weighted_sample_indices(state.weights, size, rng)
+            if weighted
+            else _uniform_sample(n, size, rng)
+        )
+        sample_rows = [system.rows[int(i)] for i in idx]
+        stats.lp_solves += 1
+        sol = solve_margin_lp(sample_rows, system.ncols)
+        if sol is None:
+            # The sample is a subset of the full multiset: an infeasible
+            # sample *proves* the whole system infeasible.  By default we
+            # stop right away, returning the best near-solution seen so
+            # far (which feeds the paper's "accept a few special-case
+            # inputs" path); with stop_on_infeasible=False we keep
+            # sampling for a better near-solution.
+            feasible = False
+            stats.infeasible_samples += 1
+            consecutive_infeasible += 1
+            # Only short-circuit once some near-solution exists to return.
+            if stop_on_infeasible and best_viol is not None:
+                break
+            if consecutive_infeasible >= 5:
+                break
+            continue
+        consecutive_infeasible = 0
+        violated = system.violations(sol.coefficients)
+        stats.violation_history.append(len(violated))
+        if best_viol is None or len(violated) < len(best_viol):
+            best, best_viol, best_margin = sol.coefficients, violated, sol.margin
+        if len(violated) == 0:
+            return ClarksonResult(sol.coefficients, violated, sol.margin, feasible, stats)
+        wv, ws = state.split_weight(violated)
+        if wv * lucky_denom <= ws:
+            stats.lucky_iterations += 1
+            state.double(violated)
+
+    if best_viol is None:
+        best_viol = np.arange(n)
+    return ClarksonResult(best, best_viol, best_margin, feasible, stats)
+
+
+def _uniform_sample(n: int, size: int, rng: np.random.Generator) -> np.ndarray:
+    if size >= n:
+        return np.arange(n)
+    return np.sort(rng.choice(n, size=size, replace=False))

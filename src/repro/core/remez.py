@@ -1,0 +1,179 @@
+"""Remez exchange: near-minimax polynomial fits of real kernels.
+
+This is the reproduction's stand-in for Sollya/Maple minimax machinery:
+the comparison libraries (glibc-like, Intel-like, CR-LIBM-like) are built
+from minimax approximations of the *real* kernel value, in contrast to
+the RLibm approach of approximating the correctly rounded result.
+
+Supports the dense/odd/even monomial bases used by the pipelines.  For
+odd and even bases the fit is performed in the squared variable
+(g(t) = f(sqrt(t)) / sqrt(t) for odd kernels), which keeps the basis a
+Chebyshev system on the half-domain.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from .polynomial import PolyShape, eval_double_horner
+
+
+@dataclass
+class RemezResult:
+    """A fitted polynomial plus its observed minimax error."""
+
+    shape: PolyShape
+    coefficients: List[float]
+    max_error: float  # observed max |P - f| on the verification grid
+    iterations: int
+
+    def __call__(self, x: float, nterms=None) -> float:
+        return eval_double_horner(self.shape, self.coefficients, x, nterms)
+
+
+def chebyshev_nodes(a: float, b: float, n: int) -> np.ndarray:
+    """n Chebyshev points of the first kind mapped to [a, b]."""
+    k = np.arange(n)
+    t = np.cos((2 * k + 1) * math.pi / (2 * n))
+    return 0.5 * (a + b) + 0.5 * (b - a) * t
+
+
+def remez_fit(
+    f: Callable[[float], float],
+    a: float,
+    b: float,
+    terms: int,
+    max_iterations: int = 30,
+    grid: int = 4000,
+    weight: Callable[[float], float] = lambda x: 1.0,
+) -> Tuple[List[float], float, int]:
+    """Minimax fit of f on [a, b] with a dense monomial basis.
+
+    Returns (coefficients, levelled error estimate, iterations).  The
+    classic multi-point exchange: solve the alternation system on the
+    current reference, move each reference point to the nearest local
+    extremum of the weighted error, stop when the reference is stable or
+    the error is levelled.
+    """
+    if terms < 1:
+        raise ValueError("need at least one term")
+    n = terms + 1
+    xs = np.sort(chebyshev_nodes(a, b, n))
+    gridx = np.linspace(a, b, grid)
+    fgrid = np.array([f(float(x)) for x in gridx])
+    wgrid = np.array([weight(float(x)) for x in gridx])
+
+    best_coeffs = [0.0] * terms
+    best_err = math.inf
+    for it in range(1, max_iterations + 1):
+        # Solve sum c_j x^j + (-1)^i E / w(x_i) = f(x_i).
+        A = np.zeros((n, n))
+        rhs = np.zeros(n)
+        for i, x in enumerate(xs):
+            A[i, :terms] = [x**j for j in range(terms)]
+            A[i, terms] = ((-1) ** i) / max(weight(float(x)), 1e-300)
+            rhs[i] = f(float(x))
+        try:
+            sol = np.linalg.solve(A, rhs)
+        except np.linalg.LinAlgError:
+            break
+        coeffs = [float(c) for c in sol[:terms]]
+        E = float(sol[terms])
+        err = (np.polyval(list(reversed(coeffs)), gridx) - fgrid) * wgrid
+        observed = float(np.max(np.abs(err)))
+        if observed < best_err:
+            best_coeffs, best_err = coeffs, observed
+        # Converged: the observed error is levelled down to |E| (or both
+        # are at noise scale, e.g. f already in the basis span).
+        fscale = float(np.max(np.abs(fgrid * wgrid))) + 1e-300
+        if observed <= max(1.02 * abs(E), 1e-13 * fscale):
+            break
+        new_ref = _alternating_extrema(gridx, err, n)
+        if new_ref is None or np.allclose(new_ref, xs, rtol=0, atol=(b - a) / grid):
+            break
+        xs = new_ref
+    return best_coeffs, best_err, it
+
+
+def _alternating_extrema(x: np.ndarray, err: np.ndarray, n: int):
+    """Pick n points of locally extremal, sign-alternating error."""
+    # Local extrema of |err| (plus the endpoints).
+    idx = [0]
+    for i in range(1, len(err) - 1):
+        if (err[i] - err[i - 1]) * (err[i + 1] - err[i]) <= 0:
+            idx.append(i)
+    idx.append(len(err) - 1)
+    # Collapse runs with the same sign, keeping the largest magnitude.
+    picked: List[int] = []
+    for i in idx:
+        if picked and np.sign(err[i]) == np.sign(err[picked[-1]]):
+            if abs(err[i]) > abs(err[picked[-1]]):
+                picked[-1] = i
+        else:
+            picked.append(i)
+    if len(picked) < n:
+        return None
+    # Keep the n consecutive alternating points with the largest minimum
+    # magnitude.
+    best = None
+    for start in range(len(picked) - n + 1):
+        window = picked[start:start + n]
+        m = min(abs(err[i]) for i in window)
+        if best is None or m > best[0]:
+            best = (m, window)
+    return np.array([x[i] for i in best[1]])
+
+
+def fit_shape(
+    f: Callable[[float], float],
+    a: float,
+    b: float,
+    shape: PolyShape,
+    relative: bool = False,
+    **kw,
+) -> RemezResult:
+    """Minimax fit in one of the pipeline bases (dense / odd / even).
+
+    Odd kernels are fit as x * Q(x^2) and even kernels as Q(x^2), with the
+    substitution t = x^2 turning the problem into a dense fit on
+    [t_min, t_max].  With ``relative=True`` the error is weighted by
+    1/|f|, so ``max_error`` bounds the *relative* error — the right target
+    when the kernel passes through zero (the log family near r = 0).
+    """
+    exps = shape.exponents
+    terms = shape.terms
+
+    def relw(g):
+        return lambda x: 1.0 / max(abs(g(x)), 1e-300)
+
+    if exps == tuple(range(terms)):
+        if relative:
+            kw["weight"] = relw(f)
+        coeffs, err, its = remez_fit(f, a, b, terms, **kw)
+        return RemezResult(shape, coeffs, err, its)
+    hi = max(abs(a), abs(b))
+    t_lo = (hi * 1e-4) ** 2
+    t_hi = hi * hi
+    if exps == tuple(2 * i + 1 for i in range(terms)):
+        def g(t: float) -> float:
+            x = math.sqrt(t)
+            return f(x) / x
+
+        # |x*Q - f| / |f| = |Q - g| / |g|; without `relative`, weight by
+        # sqrt(t) so the bound holds for x*Q rather than Q.
+        kw["weight"] = relw(g) if relative else (lambda t: math.sqrt(t))
+        coeffs, err, its = remez_fit(g, t_lo, t_hi, terms, **kw)
+        return RemezResult(shape, coeffs, err, its)
+    if exps == tuple(2 * i for i in range(terms)):
+        def g(t: float) -> float:
+            return f(math.sqrt(t))
+
+        if relative:
+            kw["weight"] = relw(g)
+        coeffs, err, its = remez_fit(g, t_lo, t_hi, terms, **kw)
+        return RemezResult(shape, coeffs, err, its)
+    raise ValueError(f"unsupported shape {shape}")

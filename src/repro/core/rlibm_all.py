@@ -1,0 +1,144 @@
+"""RLibm-All baseline: piecewise non-progressive polynomial generation.
+
+Reimplements the comparison system of the paper's Table 1 / Figure 4(d):
+a *single-configuration* polynomial per sub-domain (every representation
+evaluates the full term count), generated piece by piece with the
+original RLibm "guess and check" loop — solve a small constraint sample
+exactly, add the violated constraints to the sample, repeat.  Because the
+per-piece polynomial has low degree, many sub-domains (and hence a large
+coefficient lookup table) are needed, which is precisely the storage cost
+RLIBM-Prog's Clarkson solver eliminates.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..lp.model import solve_margin_lp
+from .constraints import ConstraintSystem, ReducedConstraint
+from .polynomial import ProgressivePolynomial
+from .search import (
+    GeneratedFunction,
+    GenerationError,
+    GenerationStats,
+    Piece,
+    _split_by_r,
+    _absorb_runtime_failures,
+)
+
+
+def solve_piece_direct(
+    system: ConstraintSystem,
+    rng: np.random.Generator,
+    initial_sample: int = 80,
+    grow: int = 60,
+    max_rounds: int = 40,
+) -> Optional[List]:
+    """The original RLibm generation loop on one piece's constraints."""
+    n = len(system)
+    if n == 0:
+        from fractions import Fraction
+
+        return [Fraction(0)] * system.ncols
+    size = min(n, max(initial_sample, 2 * system.ncols))
+    idx = set(int(i) for i in rng.choice(n, size=size, replace=False))
+    for _ in range(max_rounds):
+        rows = [system.rows[i] for i in sorted(idx)]
+        sol = solve_margin_lp(rows, system.ncols)
+        if sol is None:
+            return None  # sample infeasible => piece infeasible
+        violated = system.violations(sol.coefficients)
+        if len(violated) == 0:
+            return sol.coefficients
+        take = violated[:grow] if len(violated) > grow else violated
+        before = len(idx)
+        idx.update(int(i) for i in take)
+        if len(idx) == before:  # no progress (shouldn't happen)
+            return None
+    return None
+
+
+def generate_rlibm_all(
+    pipeline,
+    constraints: Sequence[ReducedConstraint],
+    max_terms: int = 6,
+    max_pieces: int = 1 << 10,
+    min_pieces: int = 1,
+    seed: int = 0,
+    max_specials: int = 4,
+) -> GeneratedFunction:
+    """Generate the piecewise baseline; returns a GeneratedFunction whose
+    every level evaluates the full polynomial (no progressive truncation).
+
+    The search prefers the lowest term count (RLibm-All's polynomials are
+    low degree) and, for it, the smallest piece count that works.
+    """
+    t0 = time.perf_counter()
+    stats = GenerationStats()
+    stats.constraints = len(constraints)
+    rng = np.random.default_rng(seed)
+    levels = pipeline.family.levels
+    min_k = max(max(pipeline.min_terms), 1)
+
+    for terms in range(min_k, max_terms + 1):
+        npieces = min_pieces
+        while npieces <= max_pieces:
+            result = _try_piecewise(
+                pipeline, constraints, terms, npieces, levels, rng, stats
+            )
+            if result is not None:
+                pieces, bounds = result
+                gen = GeneratedFunction(
+                    pipeline.name, pipeline.family.name, pieces, {}, stats
+                )
+                try:
+                    _absorb_runtime_failures(
+                        pipeline, gen, constraints,
+                        max(max_specials * npieces, 16),
+                    )
+                except GenerationError:
+                    npieces *= 2
+                    continue
+                stats.wall_seconds = time.perf_counter() - t0
+                return gen
+            npieces *= 2
+    raise GenerationError(
+        f"rlibm-all baseline for {pipeline.name}: no piecewise polynomial "
+        f"within {max_terms} terms and {max_pieces} pieces"
+    )
+
+
+def _try_piecewise(
+    pipeline,
+    constraints: Sequence[ReducedConstraint],
+    terms: int,
+    npieces: int,
+    levels: int,
+    rng: np.random.Generator,
+    stats: GenerationStats,
+) -> Optional[Tuple[List[Piece], List[float]]]:
+    buckets, bounds = _split_by_r(constraints, npieces)
+    term_counts = [tuple(terms for _ in pipeline.poly_kinds)] * levels
+    shapes = pipeline.shapes(term_counts[-1])
+    pieces: List[Piece] = []
+    for pi, bucket in enumerate(buckets):
+        system = ConstraintSystem(bucket, shapes, term_counts)
+        stats.configs_tried += 1
+        coeffs = solve_piece_direct(system, rng)
+        stats.lp_solves += 1
+        if coeffs is None:
+            return None
+        offsets = [0]
+        for s in shapes:
+            offsets.append(offsets[-1] + s.terms)
+        groups = tuple(
+            tuple(coeffs[offsets[p]: offsets[p + 1]]) for p in range(len(shapes))
+        )
+        poly = ProgressivePolynomial(
+            shapes, groups, tuple(tuple(k) for k in term_counts)
+        )
+        pieces.append(Piece(poly, bounds[pi] if pi < npieces - 1 else None))
+    return pieces, bounds

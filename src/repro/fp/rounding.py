@@ -1,0 +1,128 @@
+"""Rounding of exact rational values to floating-point formats.
+
+Implements the five IEEE-754 rounding modes plus the *round-to-odd* mode
+used by RLibm-All: a real that is exactly representable rounds to itself;
+any other real rounds to whichever of its two neighbours has an odd bit
+pattern when interpreted as an unsigned integer.
+"""
+
+from __future__ import annotations
+
+import enum
+from fractions import Fraction
+
+from .encode import FPValue, ilog2
+from .format import FPFormat
+
+
+class RoundingMode(enum.Enum):
+    """IEEE-754 rounding modes plus round-to-odd."""
+
+    RNE = "rne"  # round-to-nearest, ties to even
+    RNA = "rna"  # round-to-nearest, ties away from zero
+    RTZ = "rtz"  # round toward zero
+    RTP = "rtp"  # round toward +infinity ("up")
+    RTN = "rtn"  # round toward -infinity ("down")
+    RTO = "rto"  # round-to-odd (non-standard; avoids double rounding)
+
+
+#: The five modes in the IEEE-754 standard (excludes round-to-odd).
+IEEE_MODES = (
+    RoundingMode.RNE,
+    RoundingMode.RNA,
+    RoundingMode.RTZ,
+    RoundingMode.RTP,
+    RoundingMode.RTN,
+)
+
+
+def round_real(x: Fraction, fmt: FPFormat, mode: RoundingMode) -> FPValue:
+    """Round the exact rational ``x`` to ``fmt`` under ``mode``.
+
+    Overflow follows IEEE-754 semantics for the standard modes (the near-to
+    modes overflow to infinity only at or beyond ``max_value + ulp/2``).
+    For round-to-odd, a magnitude beyond the largest finite value rounds to
+    the largest finite value, whose bit pattern (all-ones mantissa) is odd.
+    """
+    if x == 0:
+        return FPValue.zero(fmt)
+    sign = 1 if x < 0 else 0
+    mag = -x if sign else x
+    fpv = _round_magnitude(mag, fmt, mode, sign)
+    if sign and not fpv.is_nan:
+        fpv = FPValue(fmt, fpv.bits | fmt.sign_mask)
+    return fpv
+
+
+def _round_magnitude(mag: Fraction, fmt: FPFormat, mode: RoundingMode, sign: int) -> FPValue:
+    """Round a positive magnitude; ``sign`` only steers the directed modes."""
+    m = fmt.mantissa_bits
+    # Directed modes depend on the sign of the original value: rounding a
+    # negative value toward +inf truncates its magnitude, and vice versa.
+    if mode is RoundingMode.RTP:
+        away = not sign
+    elif mode is RoundingMode.RTN:
+        away = bool(sign)
+    else:
+        away = False  # RTZ truncates; near/odd modes ignore this flag
+
+    if mag > fmt.max_value:
+        if mode in (RoundingMode.RNE, RoundingMode.RNA):
+            if mag < fmt.overflow_threshold:
+                return FPValue.max_finite(fmt)
+            return FPValue.infinity(fmt)
+        if mode is RoundingMode.RTO:
+            return FPValue.max_finite(fmt)
+        if away:
+            return FPValue.infinity(fmt)
+        return FPValue.max_finite(fmt)
+
+    e = ilog2(mag)
+    qe = (fmt.emin if e < fmt.emin else e) - m
+    scaled = mag * (Fraction(2) ** -qe)
+    sig = scaled.numerator // scaled.denominator
+    rem = scaled - sig
+    if _should_round_up(sig, rem, mode, away):
+        sig += 1
+    # Renormalize: the significand may have crossed a power of two.
+    if e >= fmt.emin and sig == (1 << (m + 1)):
+        sig = 1 << m
+        e += 1
+        if e > fmt.emax:
+            # Only directed-away rounding can land here (the near modes
+            # were screened by the max_value test above, and round-to-odd
+            # never rounds an odd max significand upward).
+            return FPValue.infinity(fmt)
+    if sig == 0:
+        return FPValue.zero(fmt)
+    if e < fmt.emin:
+        if sig == (1 << m):
+            # Subnormal rounded up into the smallest normal.
+            return FPValue.from_parts(fmt, 0, 1, 0)
+        return FPValue.from_parts(fmt, 0, 0, sig)
+    return FPValue.from_parts(fmt, 0, e + fmt.bias, sig - (1 << m))
+
+
+def _should_round_up(sig: int, rem: Fraction, mode: RoundingMode, away: bool) -> bool:
+    if rem == 0:
+        return False
+    if mode is RoundingMode.RNE:
+        if rem > Fraction(1, 2):
+            return True
+        if rem < Fraction(1, 2):
+            return False
+        return sig & 1 == 1  # tie: go to even significand
+    if mode is RoundingMode.RNA:
+        return rem >= Fraction(1, 2)
+    if mode is RoundingMode.RTO:
+        # Inexact: land on the neighbour with an odd bit pattern.  The two
+        # neighbours have significands sig and sig+1; exactly one is odd.
+        # (If sig+1 crossed a binade its stored pattern would be even, but
+        # then sig itself is odd and we keep it.)
+        return sig & 1 == 0
+    return away
+
+
+def round_nearest_even(x: Fraction, fmt: FPFormat) -> FPValue:
+    """Shorthand for the default IEEE mode."""
+    return round_real(x, fmt, RoundingMode.RNE)

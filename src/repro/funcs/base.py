@@ -1,0 +1,300 @@
+"""Shared machinery for per-function pipelines.
+
+Every elementary function is described by a :class:`FunctionPipeline` that
+factors the implementation into:
+
+* ``special_value`` — the structural runtime paths (NaN/infinity, domain
+  errors, exact results, overflow/underflow clamps) that bypass the
+  polynomial entirely;
+* ``reduce`` — range reduction producing the *reduced input* ``r`` (a
+  double, computed with the exact same double operations the runtime
+  executes) and a linear output-compensation recipe: the ideal output is
+
+      out = 2**scale_pow * (outer * (sum_p mult_p * P_p(r) + offset))
+
+  which is linear in the polynomial values, so rounding intervals on the
+  output pull back *exactly* (rational division by the positive constants)
+  to intervals on the polynomial expression.
+
+Generation and runtime share these two methods, which is what makes the
+generated constraints faithful to the evaluated code.  The few double
+roundings the runtime adds on top of the ideal linear form are absorbed by
+an interval shrink during generation and checked by exhaustive
+verification afterwards.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..fp.encode import FPValue
+from ..fp.format import FPFormat
+from ..fp.intervals import Interval, rounding_interval
+from ..fp.rounding import RoundingMode
+from ..mp.oracle import Oracle
+from ..core.constraints import ReducedConstraint
+from ..core.polynomial import PolyShape, ProgressivePolynomial, eval_double_horner
+
+
+@dataclass(frozen=True)
+class FamilyConfig:
+    """A nested family of formats sharing an exponent width, plus the
+    range-reduction table sizes used for it."""
+
+    formats: Tuple[FPFormat, ...]
+    log_table_bits: int = 7
+    exp_table_bits: int = 6
+    trig_table_bits: int = 9
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        ebits = {f.exponent_bits for f in self.formats}
+        if len(ebits) != 1:
+            raise ValueError("family formats must share the exponent width")
+        if list(self.formats) != sorted(self.formats):
+            raise ValueError("family formats must be ordered smallest first")
+
+    @property
+    def largest(self) -> FPFormat:
+        """The family's widest (last) format."""
+        return self.formats[-1]
+
+    @property
+    def levels(self) -> int:
+        """Number of formats (= progressive levels)."""
+        return len(self.formats)
+
+    def ro_target(self, level: int) -> FPFormat:
+        """The round-to-odd oracle format for one level: two extra bits."""
+        return self.formats[level].widen(2)
+
+
+@dataclass(frozen=True)
+class Reduction:
+    """Range-reduction output: reduced input + linear OC recipe."""
+
+    r: float
+    mults: Tuple[float, ...]
+    offset: float = 0.0
+    outer: float = 1.0
+    scale_pow: int = 0
+
+
+@dataclass
+class GenOutcome:
+    """Constraint-generation result for one (input, level)."""
+
+    constraint: Optional[ReducedConstraint] = None
+    #: Forced special case: (level, input double) -> correct output double.
+    special: Optional[Tuple[int, float, float]] = None
+
+
+#: Relative slop absorbing the runtime's few double roundings on top of
+#: the ideal linear output compensation.
+_EVAL_SLOP = Fraction(1, 1 << 48)
+
+
+class FunctionPipeline:
+    """Base class for the ten function pipelines."""
+
+    #: Function name, matching the oracle registry.
+    name: str = ""
+    #: Shape kinds of the polynomials ("dense" / "odd" / "even").
+    poly_kinds: Tuple[str, ...] = ("dense",)
+    #: Minimum sensible term count per polynomial.
+    min_terms: Tuple[int, ...] = (1,)
+
+    def __init__(self, family: FamilyConfig, oracle: Optional[Oracle] = None):
+        self.family = family
+        self.oracle = oracle or Oracle()
+        self._build_tables()
+
+    # -- to implement -------------------------------------------------------
+    def _build_tables(self) -> None:
+        """Precompute range-reduction constant tables (as doubles)."""
+
+    def special_value(self, xd: float) -> Optional[float]:
+        """Structural result for inputs that bypass the polynomial, or None."""
+        raise NotImplementedError
+
+    def reduce(self, xd: float) -> Reduction:
+        """Range-reduce a poly-path input (assumes special_value was None)."""
+        raise NotImplementedError
+
+    def domain_split_point(self, xd: float) -> int:
+        """Sub-domain index of a reduced input when the search splits the
+        domain; default: single domain."""
+        return 0
+
+    # -- shapes -------------------------------------------------------------
+    @property
+    def num_polys(self) -> int:
+        """How many polynomials the function's reduction combines."""
+        return len(self.poly_kinds)
+
+    def shapes(self, term_counts: Sequence[int]) -> Tuple[PolyShape, ...]:
+        """PolyShape per polynomial for the given term counts."""
+        makers = {"dense": PolyShape.dense, "odd": PolyShape.odd, "even": PolyShape.even}
+        return tuple(
+            makers[kind](n) for kind, n in zip(self.poly_kinds, term_counts)
+        )
+
+    # -- generation -----------------------------------------------------------
+    def special_output(self, level: int, xd: float) -> float:
+        """The correct stored-special output for an input: the round-to-odd
+        oracle result at the level's widened target, as a double.  Rounding
+        that double to any family format under any mode is correct."""
+        target = self.family.ro_target(level)
+        result = self.oracle.correctly_rounded(
+            self.name, Fraction(xd), target, RoundingMode.RTO
+        )
+        return result.to_float()
+
+    def constraint_for(self, v: FPValue, level: int) -> Optional[GenOutcome]:
+        """Build the progressive constraint for one input at one level.
+
+        Returns None when the input is handled structurally (no constraint
+        and no stored special case needed).
+        """
+        xd = v.to_float()
+        if self.special_value(xd) is not None:
+            return None
+        x = v.value
+        target = self.family.ro_target(level)
+        result = self.oracle.correctly_rounded(self.name, x, target, RoundingMode.RTO)
+        red = self.reduce(xd)
+        if not result.is_finite:
+            raise AssertionError(
+                f"{self.name}({xd}) overflows the oracle target; the"
+                " pipeline's clamps should have caught it"
+            )
+        interval = rounding_interval(result, RoundingMode.RTO)
+        pulled = _pull_back(interval, red)
+        if pulled is None or pulled.is_empty:
+            return GenOutcome(special=(level, xd, result.to_float()))
+        constraint = ReducedConstraint(
+            x=Fraction(red.r),
+            level=level,
+            lo=pulled.lo,
+            hi=pulled.hi,
+            mults=tuple(Fraction(m) for m in red.mults),
+            tags=((level, xd),),
+        )
+        return GenOutcome(constraint=constraint)
+
+    # -- runtime ---------------------------------------------------------------
+    def evaluate(
+        self,
+        xd: float,
+        poly: ProgressivePolynomial,
+        level: int,
+        specials: Optional[Dict[Tuple[int, float], float]] = None,
+    ) -> float:
+        """Full double-precision evaluation, exactly as a C runtime would."""
+        s = self.special_value(xd)
+        if s is not None:
+            return s
+        if specials:
+            hit = specials.get((level, xd))
+            if hit is not None:
+                return hit
+        red = self.reduce(xd)
+        acc = 0.0
+        for p in range(poly.num_polynomials):
+            if red.mults[p] != 0.0:
+                acc += red.mults[p] * poly.eval_level(red.r, level, p)
+        if red.offset:
+            acc = acc + red.offset
+        if red.outer != 1.0:
+            acc = acc * red.outer
+        if red.scale_pow:
+            acc = math.ldexp(acc, red.scale_pow)
+        return acc
+
+
+def _pull_back(interval: Interval, red: Reduction) -> Optional[Interval]:
+    """Map an output rounding interval through the inverse of the ideal
+    linear output compensation.
+
+    Open endpoints are stepped *one binary64 ulp* inward: the runtime's
+    output is a double, so ``out > lo`` is exactly ``out >= nextafter(lo)``.
+    (Any larger trim is unsound for feasibility: true values approach open
+    endpoints arbitrarily closely — cosh(tiny) = 1 + x^2/2 sits a hair
+    above the exactly-representable 1.)  A small absolute slop then
+    absorbs the runtime's few double roundings, but only when the interval
+    can afford it: feasibility always wins, and the post-generation
+    runtime verification catches any boundary-sitters.
+    """
+    from ..fp.doubles import next_double_down, next_double_up, to_double_down, to_double_up
+
+    lo, hi = interval.lo, interval.hi
+    if lo is not None and interval.lo_open:
+        lo_d = to_double_up(lo)  # smallest double >= lo
+        if Fraction(lo_d) == lo:
+            lo_d = next_double_up(lo_d)  # endpoint was a double: step past it
+        lo = Fraction(lo_d)
+    if hi is not None and interval.hi_open:
+        hi_d = to_double_down(hi)  # largest double <= hi
+        if Fraction(hi_d) == hi:
+            hi_d = next_double_down(hi_d)
+        hi = Fraction(hi_d)
+    if lo is not None and hi is not None and lo > hi:
+        return None
+    scale = Fraction(red.outer) * Fraction(2) ** red.scale_pow
+    if scale <= 0:
+        raise ValueError("output compensation scale must be positive")
+    off = Fraction(red.offset)
+    plo = None if lo is None else lo / scale - off
+    phi = None if hi is None else hi / scale - off
+    # Rounding slop in polynomial space, skipped when it would close the
+    # interval (keyhole constraints keep their exact bounds).
+    mags = [abs(v) for v in (plo, phi) if v is not None] + [abs(off)]
+    slop = max(mags) * _EVAL_SLOP
+    if slop:
+        slo = plo if plo is None else plo + slop
+        shi = phi if phi is None else phi - slop
+        if slo is None or shi is None or slo <= shi:
+            plo, phi = slo, shi
+    return Interval(plo, phi)
+
+
+def merge_constraints(
+    outcomes: Sequence[GenOutcome],
+    special_output,
+) -> Tuple[List[ReducedConstraint], Dict[Tuple[int, float], float]]:
+    """Merge constraints sharing (level, r, mults) by intersecting their
+    intervals; an input whose intersection empties out becomes a special
+    case, with its correct output supplied by ``special_output(level, xd)``.
+
+    Returns the merged constraint list and the forced special-case map.
+    """
+    merged: Dict[Tuple, ReducedConstraint] = {}
+    specials: Dict[Tuple[int, float], float] = {}
+    for out in outcomes:
+        if out.special is not None:
+            level, xd, val = out.special
+            specials[(level, xd)] = val
+            continue
+        c = out.constraint
+        if c is None:
+            continue
+        key = (c.level, c.x, c.mults)
+        old = merged.get(key)
+        if old is None:
+            merged[key] = c
+            continue
+        inter = Interval(old.lo, old.hi).intersect(Interval(c.lo, c.hi))
+        if inter.is_empty:
+            # Keep the established constraint; the newcomer's input is
+            # stored as a special case instead.
+            level, xd = c.tag
+            specials[(level, xd)] = special_output(level, xd)
+        else:
+            merged[key] = ReducedConstraint(
+                c.x, c.level, inter.lo, inter.hi, c.mults,
+                tags=old.tags + c.tags,
+            )
+    return list(merged.values()), specials

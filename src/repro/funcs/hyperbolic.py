@@ -1,0 +1,117 @@
+"""sinh and cosh.
+
+Range reduction via the addition theorem: with I = N * ln2/64 and
+r = x - I (Cody-Waite, like exp),
+
+    sinh(x) = cosh(I) * sinh(r) + sinh(I) * cosh(r)
+    cosh(x) = sinh(I) * sinh(r) + cosh(I) * cosh(r)
+
+where cosh(I) = (A + 1/A)/2 and sinh(I) = (A - 1/A)/2 are computed at
+runtime from A = 2^M * T[i] (the exp2 table), so no sinh/cosh tables are
+needed.  Each function gets *two* polynomials — an odd sinh-like kernel
+and an even cosh-like kernel — matching the paper's Table 1, and the
+constraints are linear in both.  The sign of sinh is folded into the
+multipliers (sinh is odd, cosh even).
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Optional, Tuple
+
+from ..fp.format import FLOAT64
+from ..fp.rounding import RoundingMode
+from .base import FunctionPipeline, Reduction
+from .exps import _HUGE, _rint, _safe_cutoff, _split_hi
+
+
+class _HyperbolicPipeline(FunctionPipeline):
+    poly_kinds = ("odd", "even")
+    min_terms = (1, 1)
+
+    def _build_tables(self) -> None:
+        J2 = self.family.exp_table_bits
+        self.table_bits = J2
+        size = 1 << J2
+        self.pow2_t = [
+            self.oracle.correctly_rounded(
+                "exp2", Fraction(i, size), FLOAT64, RoundingMode.RNE
+            ).to_float()
+            for i in range(size)
+        ]
+        ln2 = self.oracle.tight_value("ln", Fraction(2), 90)
+        step = ln2 / size
+        from ..fp.doubles import to_double_nearest
+
+        self.c1 = _split_hi(to_double_nearest(step))
+        self.c2 = to_double_nearest(step - Fraction(self.c1))
+        self.inv_scale = to_double_nearest(size / ln2)
+        fmt = self.family.largest
+        # e^x >= 2^(emax+2) makes both sinh and cosh exceed every family
+        # format's overflow threshold.
+        self.x_overflow = _safe_cutoff(fmt.emax + 2, ln2)
+
+    def _inner(self, a: float) -> Tuple[float, float, float]:
+        """Reduce a >= 0: returns (r, cosh(I), sinh(I)) as doubles."""
+        n = _rint(a * self.inv_scale)
+        r = (a - n * self.c1) - n * self.c2
+        i = n & ((1 << self.table_bits) - 1)
+        m = n >> self.table_bits
+        big = math.ldexp(self.pow2_t[i], m)  # A = 2^(N/64)
+        inv = 1.0 / big
+        ch = 0.5 * big + 0.5 * inv
+        sh = 0.5 * big - 0.5 * inv
+        return r, ch, sh
+
+
+class SinhPipeline(_HyperbolicPipeline):
+    """sinh(x) = cosh(I)*sinh(r) + sinh(I)*cosh(r); odd, sign-folded."""
+
+    name = "sinh"
+
+    def special_value(self, xd: float) -> Optional[float]:
+        """NaN/zero/infinity and the symmetric overflow clamps."""
+        if math.isnan(xd):
+            return math.nan
+        if xd == 0.0:
+            return xd  # preserves the sign of zero
+        if math.isinf(xd):
+            return xd
+        if xd >= self.x_overflow:
+            return _HUGE
+        if xd <= -self.x_overflow:
+            return -_HUGE
+        return None
+
+    def reduce(self, xd: float) -> Reduction:
+        """Sign-folded reduction: mults = (±cosh(I), ±sinh(I))."""
+        s = 1.0
+        a = xd
+        if a < 0.0:
+            a, s = -a, -1.0
+        r, ch, sh = self._inner(a)
+        return Reduction(r=r, mults=(s * ch, s * sh))
+
+
+class CoshPipeline(_HyperbolicPipeline):
+    """cosh(x) = sinh(I)*sinh(r) + cosh(I)*cosh(r); even."""
+
+    name = "cosh"
+
+    def special_value(self, xd: float) -> Optional[float]:
+        """NaN/zero/infinity and the even overflow clamp."""
+        if math.isnan(xd):
+            return math.nan
+        if xd == 0.0:
+            return 1.0
+        if math.isinf(xd):
+            return math.inf
+        if abs(xd) >= self.x_overflow:
+            return _HUGE
+        return None
+
+    def reduce(self, xd: float) -> Reduction:
+        """Even reduction: mults = (sinh(I), cosh(I))."""
+        r, ch, sh = self._inner(abs(xd))
+        return Reduction(r=r, mults=(sh, ch))

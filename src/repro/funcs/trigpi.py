@@ -1,0 +1,133 @@
+"""sinpi and cospi.
+
+The period-2 argument reduction is *exact* in doubles (fmod by 2, the
+folds f -> f-1 and f -> 1-f are Sterbenz-exact), which is why these
+functions need no Cody-Waite constants.  With a J3-bit table over the
+folded argument f in [0, 1/2],
+
+    sinpi(f) = SP[i] * cos(pi*r) + CP[i] * sin(pi*r)
+    cospi(f) = CP[i] * cos(pi*r) - SP[i] * sin(pi*r)
+
+with i = rint(f * 2^J3), r = f - i/2^J3, SP[i] = sinpi(i/2^J3),
+CP[i] = cospi(i/2^J3).  Each function carries an odd sin-like and an even
+cos-like polynomial kernel (the paper's two polynomials per function).
+Half-integer inputs are exact (Niven) and handled structurally.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Optional, Tuple
+
+from ..fp.format import FLOAT64
+from ..fp.rounding import RoundingMode
+from .base import FunctionPipeline, Reduction
+from .exps import _rint
+
+
+class _TrigPiPipeline(FunctionPipeline):
+    poly_kinds = ("odd", "even")
+    min_terms = (1, 1)
+
+    def _build_tables(self) -> None:
+        J3 = self.family.trig_table_bits
+        self.table_bits = J3
+        half = (1 << J3) // 2
+        self.sp = []
+        self.cp = []
+        for i in range(half + 1):
+            q = Fraction(i, 1 << J3)
+            self.sp.append(
+                self.oracle.correctly_rounded(
+                    "sinpi", q, FLOAT64, RoundingMode.RNE
+                ).to_float()
+            )
+            self.cp.append(
+                self.oracle.correctly_rounded(
+                    "cospi", q, FLOAT64, RoundingMode.RNE
+                ).to_float()
+            )
+
+    @staticmethod
+    def _half_integer_value(xd: float) -> Optional[int]:
+        """2*(x mod 2) when x is a half integer (0..3), else None."""
+        t = math.fmod(abs(xd), 2.0)  # exact
+        twice = t * 2.0  # exact (scaling by 2)
+        if twice == math.floor(twice):
+            return int(twice)
+        return None
+
+    def _fold(self, a: float) -> Tuple[float, float]:
+        """Exact fold of a >= 0 to (f, sign) with sinpi(a) = sign*sinpi(f),
+        f in (0, 1/2], never half-integer (callers screened those)."""
+        f = math.fmod(a, 2.0)  # exact, in [0, 2)
+        s = 1.0
+        if f >= 1.0:
+            f -= 1.0  # exact (Sterbenz)
+            s = -1.0
+        if f > 0.5:
+            f = 1.0 - f  # exact (Sterbenz)
+        return f, s
+
+
+class SinpiPipeline(_TrigPiPipeline):
+    """sin(pi x): odd, exact period-2 fold, half-integers exact."""
+
+    name = "sinpi"
+
+    def special_value(self, xd: float) -> Optional[float]:
+        """NaN for non-finite input; half-integers are exact."""
+        if math.isnan(xd) or math.isinf(xd):
+            return math.nan
+        if xd == 0.0:
+            return xd
+        half = self._half_integer_value(xd)
+        if half is not None:
+            mag = (0.0, 1.0, 0.0, -1.0)[half]
+            return -mag if xd < 0.0 else mag
+        return None
+
+    def reduce(self, xd: float) -> Reduction:
+        """Odd fold to f in (0, 1/2]; mults = (±CP[i], ±SP[i])."""
+        s = 1.0
+        a = xd
+        if a < 0.0:
+            a, s = -a, -1.0
+        f, fold_s = self._fold(a)
+        s *= fold_s
+        J3 = self.table_bits
+        n = _rint(f * (1 << J3))
+        r = f - n / float(1 << J3)  # exact
+        return Reduction(r=r, mults=(s * self.cp[n], s * self.sp[n]))
+
+
+class CospiPipeline(_TrigPiPipeline):
+    """cos(pi x): even, exact period-2 fold, half-integers exact."""
+
+    name = "cospi"
+
+    def special_value(self, xd: float) -> Optional[float]:
+        """NaN for non-finite input; half-integers are exact."""
+        if math.isnan(xd) or math.isinf(xd):
+            return math.nan
+        if xd == 0.0:
+            return 1.0
+        half = self._half_integer_value(xd)
+        if half is not None:
+            return (1.0, 0.0, -1.0, 0.0)[half]
+        return None
+
+    def reduce(self, xd: float) -> Reduction:
+        """Even fold to f in (0, 1/2]; mults = (∓SP[i], ±CP[i])."""
+        f = math.fmod(abs(xd), 2.0)  # cospi is even; exact
+        if f >= 1.0:
+            f = 2.0 - f  # exact: cos(2*pi - t) = cos(t)
+        s = 1.0
+        if f > 0.5:
+            f = 1.0 - f  # cos(pi*(1-g)) = -cos(pi*g)
+            s = -1.0
+        J3 = self.table_bits
+        n = _rint(f * (1 << J3))
+        r = f - n / float(1 << J3)  # exact
+        return Reduction(r=r, mults=(-s * self.sp[n], s * self.cp[n]))

@@ -1,0 +1,39 @@
+"""Generated math library runtime, artifacts and comparison baselines."""
+
+from .artifacts import (
+    available_artifacts,
+    generated_from_dict,
+    generated_to_dict,
+    load_generated,
+    save_generated,
+)
+from .baselines import (
+    CrlibmStyleLibrary,
+    GeneratedLibrary,
+    Library,
+    MinimaxLibrary,
+    build_minimax_function,
+    build_minimax_library,
+    wide_family_for,
+    wide_format_for,
+)
+from .runtime import RlibmProg, RlibmProgFunction, round_double_to
+
+__all__ = [
+    "available_artifacts",
+    "build_minimax_function",
+    "build_minimax_library",
+    "generated_from_dict",
+    "generated_to_dict",
+    "load_generated",
+    "save_generated",
+    "CrlibmStyleLibrary",
+    "GeneratedLibrary",
+    "Library",
+    "MinimaxLibrary",
+    "RlibmProg",
+    "RlibmProgFunction",
+    "round_double_to",
+    "wide_family_for",
+    "wide_format_for",
+]

@@ -1,0 +1,15 @@
+"""Exact rational linear programming substrate (SoPlex substitute)."""
+
+from .model import ConstraintRow, MarginSolution, check_rows, solve_margin_lp
+from .simplex import LPResult, LPStatus, solve_lp, solve_lp_wide
+
+__all__ = [
+    "ConstraintRow",
+    "MarginSolution",
+    "LPResult",
+    "LPStatus",
+    "solve_lp",
+    "solve_lp_wide",
+    "solve_margin_lp",
+    "check_rows",
+]

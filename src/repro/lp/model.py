@@ -1,0 +1,125 @@
+"""Margin-maximizing LP model for polynomial coefficient synthesis.
+
+Given linear constraints ``lo_i <= M_i . C <= hi_i`` on the (free)
+coefficient vector C, solve for C maximizing a uniform relative margin:
+``lo_i + delta*s_i <= M_i . C <= hi_i - delta*s_i`` with
+``s_i = (hi_i - lo_i)/2``, ``0 <= delta <= 1``.  A positive margin keeps
+the exact-rational solution comfortably inside the rounding intervals, so
+it survives the conversion of coefficients to doubles and the rounding of
+the double-precision Horner evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple
+
+from ..fp.encode import ilog2
+from .simplex import LPStatus, solve_lp_wide
+
+ZERO = Fraction(0)
+ONE = Fraction(1)
+
+
+@dataclass(frozen=True)
+class ConstraintRow:
+    """One linear constraint: lo <= coeffs . C <= hi (None = unbounded)."""
+
+    coeffs: Tuple[Fraction, ...]
+    lo: Optional[Fraction]
+    hi: Optional[Fraction]
+
+
+@dataclass
+class MarginSolution:
+    """Exact coefficients plus the achieved uniform margin."""
+
+    coefficients: List[Fraction]
+    margin: Fraction
+
+
+def _row_scale(row: ConstraintRow) -> Fraction:
+    """A power of two bringing the row's largest magnitude near 1."""
+    mags = [abs(c) for c in row.coeffs if c] + [
+        abs(v) for v in (row.lo, row.hi) if v
+    ]
+    if not mags:
+        return ONE
+    return Fraction(2) ** -ilog2(max(mags))
+
+
+def column_scales(rows: Sequence[ConstraintRow], ncols: int) -> List[Fraction]:
+    """Per-column powers of two normalizing entry magnitudes.
+
+    High-degree terms of a polynomial in a reduced input |x| << 1 produce
+    tiny columns (x^6 ~ 2^-42); rescaling keeps the exact simplex's
+    rationals small and is exactly invertible.
+    """
+    scales = []
+    for j in range(ncols):
+        mags = [abs(r.coeffs[j]) for r in rows if r.coeffs[j]]
+        scales.append(Fraction(2) ** -ilog2(max(mags)) if mags else ONE)
+    return scales
+
+
+def solve_margin_lp(
+    rows: Sequence[ConstraintRow],
+    ncols: int,
+    margin_cap: Fraction = ONE,
+    max_pivots: int = 200_000,
+) -> Optional[MarginSolution]:
+    """Exactly solve the margin LP; None if the constraints are infeasible."""
+    if not rows:
+        return MarginSolution([ZERO] * ncols, margin_cap)
+    col_scale = column_scales(rows, ncols)
+    nvars = 2 * ncols + 1  # u, v (C = u - v) and delta
+    delta_col = 2 * ncols
+    A: List[List[Fraction]] = []
+    b: List[Fraction] = []
+    for row in rows:
+        rs = _row_scale(row)
+        m = [row.coeffs[j] * col_scale[j] * rs for j in range(ncols)]
+        if row.lo is not None and row.hi is not None:
+            s = (row.hi - row.lo) / 2 * rs
+        else:
+            s = ZERO
+        if row.hi is not None:
+            arow = m + [-mj for mj in m] + [s]
+            A.append(arow)
+            b.append(row.hi * rs)
+        if row.lo is not None:
+            arow = [-mj for mj in m] + list(m) + [s]
+            A.append(arow)
+            b.append(-row.lo * rs)
+    cap_row = [ZERO] * nvars
+    cap_row[delta_col] = ONE
+    A.append(cap_row)
+    b.append(margin_cap)
+    c = [ZERO] * nvars
+    c[delta_col] = ONE
+
+    res = solve_lp_wide(c, A, b, max_pivots)
+    if res.status is LPStatus.INFEASIBLE:
+        return None
+    assert res.status is LPStatus.OPTIMAL and res.x is not None
+    coeffs = [
+        (res.x[j] - res.x[ncols + j]) * col_scale[j] for j in range(ncols)
+    ]
+    return MarginSolution(coeffs, res.x[delta_col])
+
+
+def check_rows(
+    rows: Sequence[ConstraintRow], coeffs: Sequence[Fraction]
+) -> List[int]:
+    """Indices of rows violated by an exact coefficient vector."""
+    bad = []
+    for i, row in enumerate(rows):
+        val = sum(
+            (m * c for m, c in zip(row.coeffs, coeffs) if m), ZERO
+        )
+        if (row.lo is not None and val < row.lo) or (
+            row.hi is not None and val > row.hi
+        ):
+            bad.append(i)
+    return bad

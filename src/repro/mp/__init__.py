@@ -1,0 +1,13 @@
+"""Arbitrary-precision oracle substrate (the reproduction's MPFR substitute).
+
+Big-integer fixed-point *interval* arithmetic with outward rounding
+(:mod:`repro.mp.fixed`), rigorous Taylor kernels (:mod:`repro.mp.series`),
+enclosed constants (:mod:`repro.mp.consts`), full-range enclosures of the
+ten elementary functions (:mod:`repro.mp.functions`), and a Ziv-style
+correctly rounded :class:`Oracle` (:mod:`repro.mp.oracle`).
+"""
+
+from .fixed import FI
+from .oracle import FUNCTION_NAMES, Oracle, OraclePrecisionError, exact_value
+
+__all__ = ["FI", "Oracle", "OraclePrecisionError", "exact_value", "FUNCTION_NAMES"]

@@ -1,0 +1,90 @@
+"""Rigorous enclosures of the mathematical constants the oracle needs.
+
+Every constant is computed on demand at the requested scale with guard
+bits, cached per (name, prec).  The Ziv loop doubles the working precision
+a handful of times, so the cache stays tiny.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Dict, Tuple
+
+from .fixed import FI
+from .series import atan_series, atanh_series
+
+_GUARD = 12
+_cache: Dict[Tuple[str, int], FI] = {}
+
+
+def _shrink(x: FI, prec: int) -> FI:
+    """Outward re-round an enclosure from a finer scale down to ``prec``."""
+    shift = x.prec - prec
+    if shift < 0:
+        raise ValueError("can only shrink to coarser precision")
+    lo = x.lo >> shift
+    hi = -((-x.hi) >> shift)
+    return FI(lo, hi, prec)
+
+
+def _cached(name: str, prec: int, compute: Callable[[int], FI]) -> FI:
+    key = (name, prec)
+    got = _cache.get(key)
+    if got is None:
+        got = _shrink(compute(prec + _GUARD), prec)
+        _cache[key] = got
+    return got
+
+
+def pi(prec: int) -> FI:
+    """pi via Machin's formula: 16*atan(1/5) - 4*atan(1/239)."""
+
+    def compute(p: int) -> FI:
+        a = atan_series(FI.from_fraction(Fraction(1, 5), p))
+        b = atan_series(FI.from_fraction(Fraction(1, 239), p))
+        return a.mul_int(16) - b.mul_int(4)
+
+    return _cached("pi", prec, compute)
+
+
+def ln2(prec: int) -> FI:
+    """ln 2 = 2 * atanh(1/3)."""
+
+    def compute(p: int) -> FI:
+        return atanh_series(FI.from_fraction(Fraction(1, 3), p)).mul_int(2)
+
+    return _cached("ln2", prec, compute)
+
+
+def ln10(prec: int) -> FI:
+    """ln 10 = 3*ln 2 + 2*atanh(1/9)   (since 10 = 8 * 10/8)."""
+
+    def compute(p: int) -> FI:
+        return ln2(p).mul_int(3) + atanh_series(
+            FI.from_fraction(Fraction(1, 9), p)
+        ).mul_int(2)
+
+    return _cached("ln10", prec, compute)
+
+
+def log2_10(prec: int) -> FI:
+    """log2(10) = ln 10 / ln 2."""
+
+    def compute(p: int) -> FI:
+        return ln10(p) / ln2(p)
+
+    return _cached("log2_10", prec, compute)
+
+
+def log2_e(prec: int) -> FI:
+    """log2(e) = 1 / ln 2."""
+
+    def compute(p: int) -> FI:
+        return ln2(p).inv()
+
+    return _cached("log2_e", prec, compute)
+
+
+def clear_cache() -> None:
+    """Drop all cached constants (used by tests)."""
+    _cache.clear()

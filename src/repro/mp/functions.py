@@ -1,0 +1,155 @@
+"""Full-range rigorous enclosures of the ten elementary functions.
+
+Each function maps an exact rational input to an :class:`FI` enclosure of
+the true value at the requested working scale.  Range reduction uses exact
+rational arithmetic wherever the identity is exact (powers of two, the
+periodicity of sinpi/cospi) and interval constants elsewhere, so the
+enclosures are always sound.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+from ..fp.encode import ilog2
+from . import consts
+from .fixed import FI
+from .series import (
+    atanh_series,
+    cos_series,
+    cosh_series,
+    exp_series,
+    sin_series,
+    sinh_series,
+)
+
+
+
+#: ln 2 to 30 digits, as a rational (only used to pick the reduction
+#: integer k — any nearby k works, soundness comes from the interval ops).
+_LN2_RATIONAL = Fraction(693147180559945309417232121458, 10**30)
+
+
+def _exp_of_interval(arg: FI) -> FI:
+    """exp of an interval argument via exp(arg) = 2^k * exp(arg - k*ln2)."""
+    p = arg.prec
+    # Big-integer midpoint: float conversion would overflow for the huge
+    # absolute precisions that tiny/huge results require.
+    mid = Fraction(arg.lo + arg.hi, 2 << p)
+    k = round(mid / _LN2_RATIONAL)
+    r = arg - consts.ln2(p).mul_int(k)
+    return exp_series(r).scale2(k)
+
+
+def exp(x: Fraction, prec: int) -> FI:
+    """Enclosure of e^x."""
+    return _exp_of_interval(FI.from_fraction(x, prec))
+
+
+def exp2(x: Fraction, prec: int) -> FI:
+    """Enclosure of 2^x (integer part split exactly)."""
+    k = math.floor(x)
+    f = x - k  # in [0, 1), exact
+    arg = FI.from_fraction(f, prec) * consts.ln2(prec)  # in [0, ln 2]
+    return exp_series(arg).scale2(k)
+
+
+def exp10(x: Fraction, prec: int) -> FI:
+    """Enclosure of 10^x."""
+    arg = FI.from_fraction(x, prec) * consts.ln10(prec)
+    return _exp_of_interval(arg)
+
+
+def _ln_mantissa(x: Fraction, prec: int) -> tuple[FI, int]:
+    """Exact split x = 2^e * m with m in (2/3, 4/3]; returns (ln m, e)."""
+    if x <= 0:
+        raise ValueError("log of non-positive value")
+    e = ilog2(x)
+    m = x / (Fraction(2) ** e)  # in [1, 2)
+    if m > Fraction(4, 3):
+        m /= 2
+        e += 1
+    t = FI.from_fraction(m - 1, prec) / FI.from_fraction(m + 1, prec)
+    return atanh_series(t).mul_int(2), e
+
+
+def ln(x: Fraction, prec: int) -> FI:
+    """Enclosure of ln(x), x > 0."""
+    ln_m, e = _ln_mantissa(x, prec)
+    return ln_m + consts.ln2(prec).mul_int(e)
+
+
+def log2(x: Fraction, prec: int) -> FI:
+    """Enclosure of log2(x), x > 0."""
+    ln_m, e = _ln_mantissa(x, prec)
+    return ln_m / consts.ln2(prec) + FI.from_int(e, prec)
+
+
+def log10(x: Fraction, prec: int) -> FI:
+    """Enclosure of log10(x), x > 0."""
+    ln_m, e = _ln_mantissa(x, prec)
+    return (ln_m + consts.ln2(prec).mul_int(e)) / consts.ln10(prec)
+
+
+def sinh(x: Fraction, prec: int) -> FI:
+    """Enclosure of sinh(x)."""
+    if abs(x) <= 1:
+        # The direct series avoids the catastrophic cancellation of
+        # (e^x - e^-x)/2 near zero.
+        return sinh_series(FI.from_fraction(x, prec))
+    # Evaluate e^-x directly rather than inverting e^x: for large |x| the
+    # enclosure of the small factor may include 0, which has no inverse.
+    e = _exp_of_interval(FI.from_fraction(x, prec))
+    einv = _exp_of_interval(FI.from_fraction(-x, prec))
+    return (e - einv).scale2(-1)
+
+
+def cosh(x: Fraction, prec: int) -> FI:
+    """Enclosure of cosh(x)."""
+    if abs(x) <= 1:
+        return cosh_series(FI.from_fraction(x, prec))
+    e = _exp_of_interval(FI.from_fraction(x, prec))
+    einv = _exp_of_interval(FI.from_fraction(-x, prec))
+    return (e + einv).scale2(-1)
+
+
+def sinpi(x: Fraction, prec: int) -> FI:
+    """Enclosure of sin(pi x) via exact period-2 reduction."""
+    negate = x < 0
+    r = abs(x) % 2  # exact, in [0, 2)
+    if r >= 1:
+        negate = not negate
+        r -= 1
+    if r > Fraction(1, 2):
+        r = 1 - r
+    theta = FI.from_fraction(r, prec) * consts.pi(prec)  # in [0, pi/2]
+    s = sin_series(theta)
+    return -s if negate else s
+
+
+def cospi(x: Fraction, prec: int) -> FI:
+    """Enclosure of cos(pi x) via exact period-2 reduction."""
+    r = abs(x) % 2  # exact, in [0, 2); cospi is even
+    if r > 1:
+        r = 2 - r  # cos(2*pi - t) = cos(t)
+    if r <= Fraction(1, 2):
+        theta = FI.from_fraction(r, prec) * consts.pi(prec)
+        return cos_series(theta)
+    theta = FI.from_fraction(1 - r, prec) * consts.pi(prec)
+    return -cos_series(theta)
+
+
+#: Registry used by the oracle.
+FUNCTIONS = {
+    "exp": exp,
+    "exp2": exp2,
+    "exp10": exp10,
+    "ln": ln,
+    "log2": log2,
+    "log10": log10,
+    "sinh": sinh,
+    "cosh": cosh,
+    "sinpi": sinpi,
+    "cospi": cospi,
+}

@@ -1,0 +1,24 @@
+"""Exhaustive verification of generated and baseline libraries."""
+
+from .exhaustive import Failure, VerificationReport, verify_exhaustive, verify_matrix
+from .fast import FastVerifyReport, fast_verify, fast_verify_level
+from .theorem import (
+    DerivedFormatReport,
+    derived_formats,
+    verify_derived_format,
+    verify_theorem,
+)
+
+__all__ = [
+    "DerivedFormatReport",
+    "FastVerifyReport",
+    "fast_verify",
+    "fast_verify_level",
+    "Failure",
+    "VerificationReport",
+    "derived_formats",
+    "verify_derived_format",
+    "verify_exhaustive",
+    "verify_matrix",
+    "verify_theorem",
+]

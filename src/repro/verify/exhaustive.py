@@ -1,0 +1,143 @@
+"""Exhaustive correctness checking of library implementations.
+
+For every input bit pattern of a format (or a provided sample), compare
+the library's rounded result with the oracle under the requested rounding
+modes.  Zero results are compared by value rather than sign by default
+(the IEEE sign-of-zero conventions for sinpi differ between sources and
+carry no numeric information)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..fp.encode import FPValue
+from ..fp.format import FPFormat
+from ..fp.enumerate import all_finite
+from ..fp.rounding import IEEE_MODES, RoundingMode
+from ..mp.oracle import Oracle
+
+
+@dataclass
+class Failure:
+    """One wrong (input, mode) pair with the observed/expected bits."""
+
+    input_bits: int
+    mode: RoundingMode
+    got_bits: int
+    want_bits: int
+
+
+@dataclass
+class VerificationReport:
+    """Aggregate result of one (library, function, format) sweep."""
+
+    library: str
+    function: str
+    fmt: FPFormat
+    total_checks: int = 0
+    wrong: int = 0
+    failures: List[Failure] = field(default_factory=list)
+    by_mode: Dict[RoundingMode, int] = field(default_factory=dict)
+
+    @property
+    def all_correct(self) -> bool:
+        """True when every check matched the oracle."""
+        return self.wrong == 0
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        status = "OK" if self.all_correct else f"{self.wrong} WRONG"
+        return (
+            f"{self.library:>12} {self.function:<6} {self.fmt.display_name:<6}"
+            f" {self.total_checks:>8} checks: {status}"
+        )
+
+
+def verify_exhaustive(
+    library,
+    fn: str,
+    fmt: FPFormat,
+    level: int,
+    oracle: Oracle,
+    modes: Sequence[RoundingMode] = IEEE_MODES,
+    inputs: Optional[Iterable[FPValue]] = None,
+    canonical_zeros: bool = True,
+    max_recorded_failures: int = 32,
+) -> VerificationReport:
+    """Check ``library``'s ``fn`` on every input of ``fmt`` for ``modes``."""
+    report = VerificationReport(library.label, fn, fmt)
+    report.by_mode = {m: 0 for m in modes}
+    inputs = inputs if inputs is not None else all_finite(fmt)
+    for v in inputs:
+        expected_special = _domain_result(fn, v, fmt)
+        if expected_special is not None:
+            for mode in modes:
+                got = library.rounded(fn, v, mode, level)
+                report.total_checks += 1
+                if got.bits != expected_special.bits and not (
+                    got.is_nan and expected_special.is_nan
+                ):
+                    report.wrong += 1
+                    report.by_mode[mode] += 1
+                    if len(report.failures) < max_recorded_failures:
+                        report.failures.append(
+                            Failure(v.bits, mode, got.bits, expected_special.bits)
+                        )
+            continue
+        want = oracle.correctly_rounded_all(fn, v.value, fmt, modes)
+        for mode in modes:
+            got = library.rounded(fn, v, mode, level)
+            report.total_checks += 1
+            if _same(got, want[mode], fmt, canonical_zeros):
+                continue
+            report.wrong += 1
+            report.by_mode[mode] += 1
+            if len(report.failures) < max_recorded_failures:
+                report.failures.append(
+                    Failure(v.bits, mode, got.bits, want[mode].bits)
+                )
+    return report
+
+
+def _domain_result(fn: str, v: FPValue, fmt: FPFormat) -> Optional[FPValue]:
+    """Expected result for inputs outside the oracle's real domain
+    (IEEE special semantics), or None when the oracle applies."""
+    if fn in ("ln", "log2", "log10"):
+        if v.kind is not None and v.is_finite and v.value < 0:
+            return FPValue.nan(fmt)
+        if v.is_finite and v.value == 0:
+            return FPValue.infinity(fmt, sign=1)
+    return None
+
+
+def _same(got: FPValue, want: FPValue, fmt: FPFormat, canonical_zeros: bool) -> bool:
+    if got.bits == want.bits:
+        return True
+    if canonical_zeros:
+        mask = ~fmt.sign_mask
+        if (got.bits & mask) == 0 and (want.bits & mask) == 0:
+            return True
+    return False
+
+
+def verify_matrix(
+    libraries,
+    fn: str,
+    family,
+    oracle: Oracle,
+    modes: Sequence[RoundingMode] = IEEE_MODES,
+    inputs_per_level: Optional[Sequence] = None,
+) -> Dict[Tuple[str, str], VerificationReport]:
+    """Every (library, family format) combination for one function."""
+    out = {}
+    for level, fmt in enumerate(family.formats):
+        inputs = (
+            list(inputs_per_level[level]) if inputs_per_level is not None else None
+        )
+        for lib in libraries:
+            rep = verify_exhaustive(
+                lib, fn, fmt, level, oracle, modes, inputs
+            )
+            out[(lib.label, fmt.display_name)] = rep
+    return out

@@ -1,0 +1,107 @@
+"""Vectorized round-to-odd interval verification.
+
+The exhaustive per-mode checker (:mod:`repro.verify.exhaustive`) costs an
+oracle decision per input; this module screens whole input sweeps with
+the numpy runtime against *cached* round-to-odd interval bounds, so
+re-verifying an artifact after a regeneration touches the exact oracle
+only for the inputs the screen cannot clear.  Soundness: the screen's
+bounds are directed-rounded doubles of the exact interval endpoints, so
+anything inside the strict screen is inside the true interval; everything
+else is re-checked exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.search import GeneratedFunction, evaluate_generated
+from ..fp.doubles import to_double_down, to_double_up
+from ..fp.enumerate import all_finite
+from ..fp.intervals import rounding_interval
+from ..fp.rounding import RoundingMode
+from ..funcs.base import FunctionPipeline
+from ..libm.vectorized import VectorizedFunction
+
+
+@dataclass
+class FastVerifyReport:
+    """Screen statistics plus the inputs that failed exact recheck."""
+
+    level: int
+    total: int = 0
+    screened_ok: int = 0
+    exact_rechecks: int = 0
+    wrong: List[float] = field(default_factory=list)
+
+    @property
+    def all_correct(self) -> bool:
+        """True when no input landed outside its interval."""
+        return not self.wrong
+
+
+def fast_verify_level(
+    pipeline: FunctionPipeline,
+    generated: GeneratedFunction,
+    level: int,
+    inputs: Optional[np.ndarray] = None,
+) -> FastVerifyReport:
+    """Check every input's runtime output against its RO interval.
+
+    By the round-to-odd construction (validated separately in
+    tests/verify/test_theorem.py), an output inside the interval rounds
+    correctly to the level's format under every IEEE mode.
+    """
+    fmt = pipeline.family.formats[level]
+    target = pipeline.family.ro_target(level)
+    oracle = pipeline.oracle
+    if inputs is None:
+        inputs = np.array([v.to_float() for v in all_finite(fmt)])
+    vec = VectorizedFunction(pipeline, generated)
+    ys = vec(inputs, level)
+
+    report = FastVerifyReport(level=level, total=len(inputs))
+    # Strict double bounds per input: lo_up <= y <= hi_down is sufficient.
+    for xd, y in zip(inputs.tolist(), ys.tolist()):
+        if pipeline.special_value(xd) is not None:
+            report.screened_ok += 1
+            continue
+        result = oracle.correctly_rounded(
+            pipeline.name, Fraction(xd), target, RoundingMode.RTO
+        )
+        iv = rounding_interval(result, RoundingMode.RTO)
+        lo_strict = -math.inf if iv.lo is None else to_double_up(iv.lo)
+        hi_strict = math.inf if iv.hi is None else to_double_down(iv.hi)
+        if lo_strict < y < hi_strict:
+            report.screened_ok += 1
+            continue
+        # Boundary or outside: exact recheck.
+        report.exact_rechecks += 1
+        ok = _exact_contains(iv, y)
+        if not ok:
+            report.wrong.append(xd)
+    return report
+
+
+def _exact_contains(iv, y: float) -> bool:
+    if math.isnan(y):
+        return False
+    if math.isinf(y):
+        return (iv.hi is None) if y > 0 else (iv.lo is None)
+    return iv.contains(Fraction(y))
+
+
+def fast_verify(
+    pipeline: FunctionPipeline,
+    generated: GeneratedFunction,
+) -> Tuple[bool, List[FastVerifyReport]]:
+    """All levels; returns (all_correct, per-level reports)."""
+    reports = [
+        fast_verify_level(pipeline, generated, level)
+        for level in range(pipeline.family.levels)
+    ]
+    return all(r.all_correct for r in reports), reports

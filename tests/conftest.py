@@ -1,0 +1,27 @@
+"""Shared fixtures: one oracle and lazily generated tiny-family functions."""
+
+import pytest
+
+from repro.core import generate_function
+from repro.funcs import TINY_CONFIG, make_pipeline
+from repro.mp import Oracle
+
+
+@pytest.fixture(scope="session")
+def oracle():
+    return Oracle()
+
+
+@pytest.fixture(scope="session")
+def tiny_generated(oracle):
+    """Factory returning (pipeline, GeneratedFunction) for the tiny family,
+    generating each function at most once per test session."""
+    cache = {}
+
+    def get(name: str):
+        if name not in cache:
+            pipe = make_pipeline(name, TINY_CONFIG, oracle)
+            cache[name] = (pipe, generate_function(pipe))
+        return cache[name]
+
+    return get

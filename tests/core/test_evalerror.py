@@ -1,0 +1,90 @@
+"""Certified Horner evaluation error bounds."""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.evalerror import ErrorBound, UNIT, generated_error_bound, horner_error_bound
+from repro.core.polynomial import PolyShape, eval_double_horner, eval_exact
+
+
+def observed_error(shape, coeffs, x: float, nterms=None) -> Fraction:
+    got = Fraction(eval_double_horner(shape, coeffs, x, nterms))
+    want = eval_exact(shape, [Fraction(c) for c in coeffs], Fraction(x), nterms)
+    return abs(got - want)
+
+
+class TestHornerErrorBound:
+    @settings(max_examples=150, deadline=None)
+    @given(st.data())
+    def test_bound_is_sound(self, data):
+        kind = data.draw(st.sampled_from(["dense", "odd", "even"]))
+        n = data.draw(st.integers(1, 6))
+        shape = getattr(PolyShape, kind)(n)
+        coeffs = [
+            data.draw(st.floats(-4, 4).filter(lambda v: v == v))
+            for _ in range(n)
+        ]
+        span = data.draw(st.floats(1e-6, 1.0))
+        bound = horner_error_bound(shape, coeffs, -span, span)
+        for _ in range(5):
+            x = data.draw(st.floats(-span, span))
+            assert observed_error(shape, coeffs, x) <= Fraction(bound.absolute) + Fraction(1, 10**300)
+
+    def test_single_term_exact(self):
+        # One dense term: no arithmetic at all.
+        b = horner_error_bound(PolyShape.dense(1), [1.5], -1, 1)
+        assert b.absolute == 0.0
+
+    def test_zero_terms(self):
+        b = horner_error_bound(PolyShape.dense(3), [1, 2, 3], -1, 1, nterms=0)
+        assert b.absolute == 0.0
+
+    def test_scaling_with_terms(self):
+        coeffs = [1.0, 0.7, 0.3, 0.1, 0.05, 0.01]
+        b2 = horner_error_bound(PolyShape.dense(6), coeffs, -0.01, 0.01, 2)
+        b6 = horner_error_bound(PolyShape.dense(6), coeffs, -0.01, 0.01, 6)
+        assert b2.absolute <= b6.absolute
+
+    def test_magnitude_reported(self):
+        b = horner_error_bound(PolyShape.dense(2), [2.0, 1.0], -0.5, 0.5)
+        assert 2.4 <= b.value_magnitude <= 2.6
+
+    def test_relative_error_tiny_for_exp_like(self):
+        # exp2-style kernel: relative error must be a few units roundoff.
+        coeffs = [1.0, 0.6931471805599453, 0.2402265069591007]
+        b = horner_error_bound(PolyShape.dense(3), coeffs, -0.011, 0.011)
+        assert b.relative < 8 * UNIT
+
+    def test_irregular_shape_rejected(self):
+        with pytest.raises(ValueError):
+            horner_error_bound(PolyShape((0, 3)), [1.0, 2.0], -1, 1)
+
+
+class TestGeneratedErrorBound:
+    def test_bound_justifies_slop(self, tiny_generated):
+        """The generator's relative rounding slop (2^-48) must dominate the
+        certified evaluation error of every generated kernel."""
+        for name in ("exp2", "log2", "sinh", "sinpi"):
+            _, gen = tiny_generated(name)
+            for piece in range(gen.num_pieces):
+                for level in range(len(gen.pieces[0].poly.term_counts)):
+                    b = generated_error_bound(gen, piece, level)
+                    if b.value_magnitude == 0:
+                        continue
+                    assert b.relative < 2.0**-48, (name, piece, level, b)
+
+    def test_observed_within_bound(self, tiny_generated):
+        random.seed(0)
+        _, gen = tiny_generated("exp2")
+        poly = gen.pieces[0].poly
+        b = generated_error_bound(gen, 0)
+        span = 2.0**-4
+        for _ in range(100):
+            x = random.uniform(-span, span)
+            err = observed_error(
+                poly.shapes[0], poly.double_coefficients[0], x
+            )
+            assert err <= Fraction(b.absolute)

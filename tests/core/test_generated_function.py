@@ -1,0 +1,60 @@
+"""GeneratedFunction container behavior (pieces, dispatch, accounting)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.polynomial import PolyShape, ProgressivePolynomial
+from repro.core.search import GeneratedFunction, GenerationError, Piece, generate_function
+
+F = Fraction
+
+
+def poly(c0):
+    return ProgressivePolynomial(
+        shapes=(PolyShape.dense(2),),
+        coefficients=((F(c0), F(1)),),
+        term_counts=((1,), (2,)),
+    )
+
+
+@pytest.fixture
+def three_piece():
+    return GeneratedFunction(
+        "demo",
+        "test",
+        [Piece(poly(1), -0.5), Piece(poly(2), 0.5), Piece(poly(3), None)],
+        {},
+    )
+
+
+class TestPieceDispatch:
+    def test_boundaries(self, three_piece):
+        gf = three_piece
+        assert gf.piece_for(-1.0).coefficients[0][0] == 1
+        assert gf.piece_for(-0.5).coefficients[0][0] == 2  # bound -> upper
+        assert gf.piece_for(0.0).coefficients[0][0] == 2
+        assert gf.piece_for(0.5).coefficients[0][0] == 3
+        assert gf.piece_for(7.0).coefficients[0][0] == 3
+
+    def test_counts_and_storage(self, three_piece):
+        assert three_piece.num_pieces == 3
+        assert three_piece.storage_bytes == 3 * 2 * 8
+        assert three_piece.max_degree() == 1
+        assert three_piece.max_degree(0) == 0
+
+    def test_term_counts_listing(self, three_piece):
+        tc = three_piece.term_counts()
+        assert len(tc) == 3
+        assert tc[0] == ((1,), (2,))
+
+
+class TestGenerationErrors:
+    def test_impossible_budget_raises(self, oracle):
+        from repro.funcs import TINY_CONFIG, make_pipeline
+
+        pipe = make_pipeline("exp2", TINY_CONFIG, oracle)
+        with pytest.raises(GenerationError):
+            generate_function(
+                pipe, max_terms=1, max_subdomains=1, max_iterations=6
+            )

@@ -1,0 +1,111 @@
+"""The Remez exchange minimax fitter."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.polynomial import PolyShape, eval_double_horner
+from repro.core.remez import chebyshev_nodes, fit_shape, remez_fit
+
+
+class TestChebyshevNodes:
+    def test_count_and_range(self):
+        nodes = chebyshev_nodes(-1.0, 1.0, 7)
+        assert len(nodes) == 7
+        assert all(-1 <= x <= 1 for x in nodes)
+
+    def test_mapped(self):
+        nodes = chebyshev_nodes(2.0, 4.0, 5)
+        assert all(2 <= x <= 4 for x in nodes)
+
+
+class TestRemezFit:
+    def test_exact_polynomial_recovered(self):
+        f = lambda x: 3.0 - 2.0 * x + 0.5 * x * x
+        coeffs, err, _ = remez_fit(f, -1.0, 1.0, 4)
+        assert err < 1e-12
+        assert coeffs[0] == pytest.approx(3.0, abs=1e-9)
+        assert coeffs[1] == pytest.approx(-2.0, abs=1e-9)
+        assert coeffs[2] == pytest.approx(0.5, abs=1e-9)
+
+    def test_exp_on_small_interval(self):
+        coeffs, err, _ = remez_fit(math.exp, -0.01, 0.01, 3)
+        # Minimax error for 3 terms on [-h, h] is about
+        # e^h * h^3 / (2^2 * 3!) ~ 4.2e-8; allow slack for the grid search.
+        assert err < 1e-7
+        xs = np.linspace(-0.01, 0.01, 101)
+        worst = max(
+            abs(eval_double_horner(PolyShape.dense(3), coeffs, float(x)) - math.exp(float(x)))
+            for x in xs
+        )
+        assert worst <= err * 1.01
+
+    def test_minimax_beats_taylor(self):
+        # The levelled Remez error should be ~2x better than Taylor's
+        # one-sided error for the same degree.
+        h = 0.1
+        coeffs, err, _ = remez_fit(math.exp, -h, h, 3)
+        taylor = [1.0, 1.0, 0.5]
+        xs = np.linspace(-h, h, 400)
+        taylor_err = max(
+            abs(eval_double_horner(PolyShape.dense(3), taylor, float(x)) - math.exp(float(x)))
+            for x in xs
+        )
+        assert err < taylor_err / 1.5
+
+    def test_error_equioscillates(self):
+        h = 0.25
+        coeffs, err, _ = remez_fit(math.exp, -h, h, 4)
+        xs = np.linspace(-h, h, 2000)
+        errs = np.array(
+            [eval_double_horner(PolyShape.dense(4), coeffs, float(x)) - math.exp(float(x)) for x in xs]
+        )
+        # At least terms+1 alternations close to the levelled error.
+        peaks = np.abs(errs) > 0.85 * err
+        signs = np.sign(errs[peaks])
+        alternations = 1 + int(np.sum(signs[1:] != signs[:-1]))
+        assert alternations >= 5
+
+    def test_more_terms_less_error(self):
+        errs = [remez_fit(math.exp, -0.5, 0.5, k)[1] for k in (2, 3, 4, 5)]
+        assert errs == sorted(errs, reverse=True)
+        assert errs[-1] < errs[0] / 1e3
+
+    def test_rejects_zero_terms(self):
+        with pytest.raises(ValueError):
+            remez_fit(math.exp, -1, 1, 0)
+
+
+class TestFitShape:
+    def test_dense(self):
+        fit = fit_shape(math.exp, -0.1, 0.1, PolyShape.dense(4))
+        # Theory: e^h * h^4 / (2^3 * 4!) ~ 5.8e-7 for h = 0.1.
+        assert fit.max_error < 2e-6
+        assert fit(0.05) == pytest.approx(math.exp(0.05), abs=1e-5)
+
+    def test_odd_sin(self):
+        shape = PolyShape.odd(3)
+        fit = fit_shape(math.sin, -0.5, 0.5, shape)
+        assert fit.max_error < 1e-7
+        assert fit(0.3) == pytest.approx(math.sin(0.3), abs=1e-6)
+        assert fit(-0.3) == pytest.approx(-fit(0.3))
+
+    def test_even_cos(self):
+        shape = PolyShape.even(3)
+        fit = fit_shape(math.cos, -0.5, 0.5, shape)
+        assert fit.max_error < 1e-6
+        assert fit(0.4) == pytest.approx(math.cos(0.4), abs=1e-5)
+
+    def test_relative_weighting_near_zero(self):
+        # log2(1+r) vanishes at 0: a relative fit must stay accurate there.
+        f = lambda r: math.log2(1.0 + r)
+        shape = PolyShape.dense(4)
+        fit = fit_shape(f, 1e-7, 2.0**-5, shape, relative=True)
+        for r in (1e-6, 1e-4, 0.01, 0.03):
+            got = fit(r)
+            assert got == pytest.approx(f(r), rel=3 * fit.max_error + 1e-12)
+
+    def test_irregular_shape_rejected(self):
+        with pytest.raises(ValueError):
+            fit_shape(math.exp, -1, 1, PolyShape((0, 3)))

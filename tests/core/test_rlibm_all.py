@@ -1,0 +1,65 @@
+"""The RLibm-All piecewise baseline generator."""
+
+import numpy as np
+import pytest
+
+from repro.core import collect_constraints, runtime_interval_failures
+from repro.core.constraints import ConstraintSystem
+from repro.core.polynomial import PolyShape
+from repro.core.rlibm_all import generate_rlibm_all, solve_piece_direct
+from repro.funcs import TINY_CONFIG, make_pipeline
+
+
+@pytest.fixture(scope="module")
+def exp2_setup(oracle):
+    pipe = make_pipeline("exp2", TINY_CONFIG, oracle)
+    cons, _ = collect_constraints(pipe)
+    return pipe, cons
+
+
+class TestSolvePieceDirect:
+    def test_solves_feasible(self, exp2_setup):
+        pipe, cons = exp2_setup
+        shapes = pipe.shapes((3,))
+        system = ConstraintSystem(cons, shapes, [(3,)] * 2)
+        coeffs = solve_piece_direct(system, np.random.default_rng(0))
+        assert coeffs is not None
+        assert len(system.violations(coeffs)) == 0
+
+    def test_reports_infeasible(self, exp2_setup):
+        pipe, cons = exp2_setup
+        shapes = pipe.shapes((1,))
+        system = ConstraintSystem(cons, shapes, [(1,)] * 2)
+        assert solve_piece_direct(system, np.random.default_rng(0)) is None
+
+    def test_empty_system(self, exp2_setup):
+        pipe, _ = exp2_setup
+        system = ConstraintSystem([], pipe.shapes((2,)), [(2,)] * 2)
+        assert solve_piece_direct(system, np.random.default_rng(0)) is not None
+
+
+class TestGenerateRlibmAll:
+    def test_baseline_correct_and_nonprogressive(self, exp2_setup):
+        pipe, cons = exp2_setup
+        gen = generate_rlibm_all(pipe, cons, max_terms=5)
+        # Non-progressive: every level evaluates the full polynomial.
+        for piece in gen.pieces:
+            counts = piece.poly.term_counts
+            assert all(c == counts[-1] for c in counts)
+        assert runtime_interval_failures(pipe, gen, cons) == []
+
+    def test_prefers_low_terms_with_pieces(self, exp2_setup):
+        pipe, cons = exp2_setup
+        # Force a low term budget: the generator must split the domain.
+        gen = generate_rlibm_all(pipe, cons, max_terms=2, min_pieces=1)
+        assert gen.pieces[0].poly.term_counts[-1][0] <= 2
+        assert gen.num_pieces >= 2
+        assert runtime_interval_failures(pipe, gen, cons) == []
+
+    def test_min_pieces_respected(self, exp2_setup):
+        pipe, cons = exp2_setup
+        forced = generate_rlibm_all(pipe, cons, max_terms=5, min_pieces=4)
+        assert forced.num_pieces >= 4
+        assert forced.storage_bytes == sum(
+            p.poly.storage_bytes() for p in forced.pieces
+        )

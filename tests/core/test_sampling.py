@@ -1,0 +1,91 @@
+"""Weighted random sampling (Efraimidis-Spirakis) and the weight multiset."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.sampling import WeightState, weighted_sample_indices
+
+
+class TestWeightedSampleIndices:
+    def test_size_and_uniqueness(self):
+        rng = np.random.default_rng(0)
+        w = np.ones(100)
+        idx = weighted_sample_indices(w, 10, rng)
+        assert len(idx) == 10
+        assert len(set(idx.tolist())) == 10
+        assert ((0 <= idx) & (idx < 100)).all()
+
+    def test_requesting_everything(self):
+        rng = np.random.default_rng(0)
+        idx = weighted_sample_indices(np.ones(5), 10, rng)
+        assert list(idx) == [0, 1, 2, 3, 4]
+
+    def test_heavy_item_always_sampled(self):
+        # One item with overwhelming weight should essentially always be
+        # included in any reasonably sized sample.
+        rng = np.random.default_rng(1)
+        w = np.ones(200)
+        w[17] = 2.0**60
+        hits = sum(
+            17 in weighted_sample_indices(w, 20, rng) for _ in range(50)
+        )
+        assert hits == 50
+
+    def test_weight_proportionality(self):
+        # Item with weight 9 vs items with weight 1: inclusion frequency in
+        # a size-1 sample should be about 9/(9 + n - 1).
+        rng = np.random.default_rng(7)
+        n = 10
+        w = np.ones(n)
+        w[3] = 9.0
+        trials = 4000
+        hits = sum(
+            3 in weighted_sample_indices(w, 1, rng) for _ in range(trials)
+        )
+        expected = trials * 9 / (9 + n - 1)
+        assert abs(hits - expected) < 4 * np.sqrt(trials * 0.5 * 0.5)
+
+    @settings(max_examples=30)
+    @given(st.integers(1, 50), st.integers(1, 50), st.integers(0, 2**31))
+    def test_random_shapes(self, n, s, seed):
+        rng = np.random.default_rng(seed)
+        w = rng.random(n) + 0.01
+        idx = weighted_sample_indices(w, s, rng)
+        assert len(idx) == min(n, s)
+        assert len(set(idx.tolist())) == len(idx)
+
+
+class TestWeightState:
+    def test_initial_weights_uniform(self):
+        ws = WeightState(5)
+        assert np.allclose(ws.weights, 1.0)
+
+    def test_double(self):
+        ws = WeightState(4)
+        ws.double(np.array([1, 3]))
+        w = ws.weights
+        assert w[1] == 2 * w[0]
+        assert w[3] == 2 * w[2]
+
+    def test_many_doublings_no_overflow(self):
+        ws = WeightState(3)
+        for _ in range(5000):
+            ws.double(np.array([0]))
+        w = ws.weights
+        assert np.isfinite(w).all()
+        assert w[0] == 1.0  # normalized by max
+        assert w[1] == 0.0 or w[1] < 1e-300  # vastly lighter
+
+    def test_split_weight(self):
+        ws = WeightState(4)
+        ws.double(np.array([0]))  # weights 2,1,1,1
+        wv, wsat = ws.split_weight(np.array([0, 1]))
+        assert wv == pytest.approx(3 / 2)  # normalized by max=2: 1 + 0.5
+        assert wsat == pytest.approx(1.0)
+
+    def test_split_weight_empty(self):
+        ws = WeightState(3)
+        wv, wsat = ws.split_weight(np.array([], dtype=np.int64))
+        assert wv == 0.0
+        assert wsat == pytest.approx(3.0)

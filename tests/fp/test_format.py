@@ -1,0 +1,106 @@
+"""Tests for FPFormat structural quantities."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.fp import (
+    BFLOAT16,
+    FLOAT16,
+    FLOAT32,
+    FLOAT34_RO,
+    FLOAT64,
+    FPFormat,
+    TENSORFLOAT32,
+)
+
+
+def test_float32_layout():
+    assert FLOAT32.mantissa_bits == 23
+    assert FLOAT32.precision == 24
+    assert FLOAT32.bias == 127
+    assert FLOAT32.emax == 127
+    assert FLOAT32.emin == -126
+
+
+def test_float64_layout():
+    assert FLOAT64.mantissa_bits == 52
+    assert FLOAT64.bias == 1023
+    assert FLOAT64.emax == 1023
+    assert FLOAT64.emin == -1022
+
+
+def test_float16_layout():
+    assert FLOAT16.mantissa_bits == 10
+    assert FLOAT16.bias == 15
+    assert FLOAT16.max_value == Fraction(65504)
+    assert FLOAT16.min_normal == Fraction(1, 1 << 14)
+    assert FLOAT16.min_subnormal == Fraction(1, 1 << 24)
+
+
+def test_bfloat16_layout():
+    assert BFLOAT16.mantissa_bits == 7
+    assert BFLOAT16.exponent_bits == 8
+    assert BFLOAT16.emax == FLOAT32.emax
+    assert BFLOAT16.emin == FLOAT32.emin
+
+
+def test_tensorfloat32_layout():
+    assert TENSORFLOAT32.total_bits == 19
+    assert TENSORFLOAT32.mantissa_bits == 10
+    assert TENSORFLOAT32.exponent_bits == 8
+
+
+def test_float32_extremes():
+    assert FLOAT32.max_value == Fraction((1 << 24) - 1, 1 << 23) * Fraction(2) ** 127
+    assert FLOAT32.min_subnormal == Fraction(2) ** -149
+
+
+def test_widen_is_ro_target():
+    assert FLOAT32.widen(2) == FLOAT34_RO
+    assert FLOAT32.widen(2).exponent_bits == 8
+    assert FLOAT32.widen(2).mantissa_bits == 25
+
+
+def test_contains_format_nested_family():
+    assert FLOAT32.contains_format(BFLOAT16)
+    assert FLOAT32.contains_format(TENSORFLOAT32)
+    assert TENSORFLOAT32.contains_format(BFLOAT16)
+    assert not BFLOAT16.contains_format(TENSORFLOAT32)
+
+
+def test_contains_format_wider_exponent():
+    assert FLOAT64.contains_format(FLOAT32)
+    assert FLOAT64.contains_format(FLOAT16)
+    assert not FLOAT32.contains_format(FLOAT64)
+    # float32 cannot hold half's values?  It can: wider exponent and more
+    # mantissa bits, and half's subnormals are float32 normals.
+    assert FLOAT32.contains_format(FLOAT16)
+
+
+def test_overflow_threshold():
+    ulp_max = Fraction(2) ** (FLOAT16.emax - FLOAT16.mantissa_bits)
+    assert FLOAT16.overflow_threshold == FLOAT16.max_value + ulp_max / 2
+    assert FLOAT16.overflow_threshold == Fraction(65520)
+
+
+def test_invalid_formats_rejected():
+    with pytest.raises(ValueError):
+        FPFormat(4, 1)
+    with pytest.raises(ValueError):
+        FPFormat(5, 4)  # no mantissa bits left
+
+
+def test_format_ordering():
+    assert BFLOAT16 < TENSORFLOAT32 < FLOAT32
+    assert sorted([FLOAT32, BFLOAT16, TENSORFLOAT32]) == [
+        BFLOAT16,
+        TENSORFLOAT32,
+        FLOAT32,
+    ]
+
+
+def test_masks():
+    assert FLOAT32.sign_mask == 0x8000_0000
+    assert FLOAT32.exponent_mask == 0x7F80_0000
+    assert FLOAT32.mantissa_mask == 0x007F_FFFF

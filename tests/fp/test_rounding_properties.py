@@ -1,0 +1,117 @@
+"""Hypothesis property tests on rounding structure.
+
+These are the invariants the constraint machinery leans on: rounding is
+monotone, directed modes bracket the value, round-to-odd sits between the
+directed modes, and rounding is idempotent.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fp import (
+    FPValue,
+    IEEE_MODES,
+    Kind,
+    RoundingMode,
+    T8,
+    T10,
+    FLOAT16,
+    round_real,
+)
+
+FORMATS = [T8, T10, FLOAT16]
+ALL_MODES = list(IEEE_MODES) + [RoundingMode.RTO]
+
+rationals = st.fractions(
+    min_value=Fraction(-10**5), max_value=Fraction(10**5), max_denominator=10**7
+)
+
+
+def as_extended(v: FPValue) -> Fraction:
+    """Finite value, or a huge stand-in for infinities (order-preserving)."""
+    if v.is_infinity:
+        big = Fraction(10) ** 60
+        return -big if v.sign else big
+    return v.value
+
+
+class TestMonotonicity:
+    @settings(max_examples=300)
+    @given(rationals, rationals, st.sampled_from(ALL_MODES), st.sampled_from(FORMATS))
+    def test_rounding_is_monotone(self, x, y, mode, fmt):
+        if x > y:
+            x, y = y, x
+        rx = round_real(x, fmt, mode)
+        ry = round_real(y, fmt, mode)
+        assert as_extended(rx) <= as_extended(ry)
+
+
+class TestBracketing:
+    @settings(max_examples=300)
+    @given(rationals, st.sampled_from(FORMATS))
+    def test_directed_modes_bracket(self, x, fmt):
+        down = round_real(x, fmt, RoundingMode.RTN)
+        up = round_real(x, fmt, RoundingMode.RTP)
+        assert as_extended(down) <= x <= as_extended(up)
+
+    @settings(max_examples=300)
+    @given(rationals, st.sampled_from(FORMATS))
+    def test_all_modes_within_directed(self, x, fmt):
+        down = as_extended(round_real(x, fmt, RoundingMode.RTN))
+        up = as_extended(round_real(x, fmt, RoundingMode.RTP))
+        for mode in ALL_MODES:
+            v = as_extended(round_real(x, fmt, mode))
+            assert down <= v <= up
+
+    @settings(max_examples=300)
+    @given(rationals, st.sampled_from(FORMATS))
+    def test_rtz_truncates(self, x, fmt):
+        v = round_real(x, fmt, RoundingMode.RTZ)
+        assert abs(as_extended(v)) <= abs(x)
+
+    @settings(max_examples=300)
+    @given(rationals, st.sampled_from(FORMATS))
+    def test_nearest_error_at_most_half_ulp(self, x, fmt):
+        v = round_real(x, fmt, RoundingMode.RNE)
+        if not v.is_finite or abs(x) > fmt.max_value:
+            return
+        assert abs(v.value - x) <= v.ulp() / 2 or v.kind is Kind.ZERO
+
+
+class TestIdempotence:
+    @settings(max_examples=200)
+    @given(rationals, st.sampled_from(ALL_MODES), st.sampled_from(FORMATS))
+    def test_double_application_fixed_point(self, x, mode, fmt):
+        first = round_real(x, fmt, mode)
+        if not first.is_finite:
+            return
+        second = round_real(first.value, fmt, mode)
+        # Value-level fixed point (the sign of zero is recreated from the
+        # real zero, which is unsigned).
+        if first.kind is Kind.ZERO:
+            assert second.kind is Kind.ZERO
+        else:
+            assert second.bits == first.bits
+
+
+class TestRoundToOddStructure:
+    @settings(max_examples=300)
+    @given(rationals, st.sampled_from(FORMATS))
+    def test_odd_unless_exact(self, x, fmt):
+        v = round_real(x, fmt, RoundingMode.RTO)
+        if not v.is_finite or v.kind is Kind.ZERO:
+            return
+        if v.value != x:
+            assert v.bits & 1 == 1
+
+    @settings(max_examples=300)
+    @given(rationals, st.sampled_from([T8, T10]))
+    def test_never_equals_even_neighbour_of_inexact(self, x, fmt):
+        v = round_real(x, fmt, RoundingMode.RTO)
+        if not v.is_finite:
+            return
+        # Round-to-odd loses no less information than truncation: the
+        # result is always within one ulp of x.
+        if abs(x) <= fmt.max_value:
+            assert abs(as_extended(v) - x) < v.ulp() if v.value != 0 else True

@@ -1,0 +1,60 @@
+"""FamilyConfig validation and the predefined families."""
+
+import pytest
+
+from repro.fp import BFLOAT16, FLOAT32, FPFormat, P12, P16, TENSORFLOAT32
+from repro.funcs import MINI_CONFIG, PAPER_CONFIG, TINY_CONFIG, FamilyConfig, make_pipeline
+from repro.mp import Oracle
+
+
+class TestFamilyConfig:
+    def test_paper_family(self):
+        assert PAPER_CONFIG.formats == (BFLOAT16, TENSORFLOAT32, FLOAT32)
+        assert PAPER_CONFIG.largest == FLOAT32
+        assert PAPER_CONFIG.levels == 3
+        assert PAPER_CONFIG.log_table_bits == 7  # == bfloat16 mantissa
+
+    def test_mini_family_structure(self):
+        assert MINI_CONFIG.largest == P16
+        assert MINI_CONFIG.formats[0] == P12
+        # Log table width matches the smallest format's mantissa: the
+        # "one term suffices" property of Table 1.
+        assert MINI_CONFIG.log_table_bits == P12.mantissa_bits
+
+    def test_ro_target(self):
+        t = PAPER_CONFIG.ro_target(2)
+        assert t.total_bits == 34 and t.exponent_bits == 8
+        t0 = PAPER_CONFIG.ro_target(0)
+        assert t0.total_bits == 18 and t0.exponent_bits == 8
+
+    def test_rejects_mixed_exponents(self):
+        with pytest.raises(ValueError):
+            FamilyConfig((FPFormat(10, 4), FPFormat(12, 5)))
+
+    def test_rejects_unordered(self):
+        with pytest.raises(ValueError):
+            FamilyConfig((FLOAT32, BFLOAT16))
+
+    def test_single_member_family(self):
+        fam = FamilyConfig((FPFormat(20, 5),), name="solo")
+        assert fam.levels == 1
+        assert fam.largest.total_bits == 20
+
+
+class TestMakePipeline:
+    def test_unknown_function(self):
+        with pytest.raises(ValueError):
+            make_pipeline("tan", TINY_CONFIG, Oracle())
+
+    def test_all_ten_construct(self, oracle):
+        from repro.funcs import PIPELINES
+
+        for name in PIPELINES:
+            pipe = make_pipeline(name, TINY_CONFIG, oracle)
+            assert pipe.name == name
+            assert pipe.family is TINY_CONFIG
+            assert len(pipe.min_terms) == pipe.num_polys
+
+    def test_shared_oracle(self, oracle):
+        pipe = make_pipeline("exp2", TINY_CONFIG, oracle)
+        assert pipe.oracle is oracle

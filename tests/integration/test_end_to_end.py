@@ -1,0 +1,145 @@
+"""Cross-module integration: determinism, corruption detection, round trips."""
+
+import json
+from fractions import Fraction
+
+import pytest
+
+from repro.core import evaluate_generated, generate_function
+from repro.fp import FPValue, IEEE_MODES, RoundingMode, T8, all_finite
+from repro.funcs import TINY_CONFIG, make_pipeline
+from repro.libm.artifacts import generated_from_dict, generated_to_dict
+from repro.libm.baselines import GeneratedLibrary
+from repro.verify import verify_exhaustive
+
+
+class TestDeterminism:
+    def test_same_seed_same_polynomial(self, oracle):
+        pipe = make_pipeline("exp2", TINY_CONFIG, oracle)
+        a = generate_function(pipe, seed=7)
+        b = generate_function(pipe, seed=7)
+        assert a.num_pieces == b.num_pieces
+        for pa, pb in zip(a.pieces, b.pieces):
+            assert pa.poly.coefficients == pb.poly.coefficients
+            assert pa.poly.term_counts == pb.poly.term_counts
+        assert a.specials == b.specials
+
+    def test_different_seeds_both_correct(self, oracle):
+        pipe = make_pipeline("log2", TINY_CONFIG, oracle)
+        for seed in (1, 2):
+            gen = generate_function(pipe, seed=seed)
+            lib = GeneratedLibrary({"log2": pipe}, {"log2": gen})
+            rep = verify_exhaustive(lib, "log2", T8, 0, oracle, IEEE_MODES)
+            assert rep.all_correct, seed
+
+
+class TestFailureInjection:
+    """A corrupted artifact must be *caught*, not silently accepted."""
+
+    def _corrupt(self, gen, bump):
+        data = generated_to_dict(gen)
+        c0 = data["pieces"][0]["coefficients"][0]
+        num, den = c0[0].split("/")
+        c0[0] = f"{int(num) + bump}/{den}"
+        return generated_from_dict(json.loads(json.dumps(data)))
+
+    def test_coefficient_corruption_detected(self, oracle, tiny_generated):
+        pipe, gen = tiny_generated("exp2")
+        # Bump the constant coefficient by ~2^-9 relative: large enough to
+        # break correct rounding somewhere, small enough to look plausible.
+        c = gen.pieces[0].poly.coefficients[0][0]
+        bump = max(1, abs(c.numerator) >> 9)
+        bad = self._corrupt(gen, bump)
+        lib = GeneratedLibrary({"exp2": pipe}, {"exp2": bad})
+        rep = verify_exhaustive(lib, "exp2", T8, 0, oracle, IEEE_MODES)
+        assert not rep.all_correct
+        assert rep.failures
+
+    def test_dropped_special_detected(self, oracle, tiny_generated):
+        pipe, gen = tiny_generated("sinpi")
+        if not gen.specials:
+            pytest.skip("no stored specials for this seed")
+        data = generated_to_dict(gen)
+        data["specials"] = []
+        bad = generated_from_dict(data)
+        lib = GeneratedLibrary({"sinpi": pipe}, {"sinpi": bad})
+        wrong = 0
+        for fmt, level in ((T8, 0),):
+            rep = verify_exhaustive(lib, "sinpi", fmt, level, oracle, IEEE_MODES)
+            wrong += rep.wrong
+        # The stored specials exist precisely because the polynomial alone
+        # is wrong there (on some level of the family).
+        from repro.fp import T10
+
+        rep10 = verify_exhaustive(lib, "sinpi", T10, 1, oracle, IEEE_MODES)
+        assert wrong + rep10.wrong > 0
+
+
+class TestCrossFamilyIsolation:
+    def test_same_function_two_families(self, oracle, tiny_generated):
+        """Artifacts are family-specific; evaluating with the wrong
+        family's pipeline must not silently work."""
+        from repro.funcs import FamilyConfig
+        from repro.fp import FPFormat
+
+        pipe_tiny, gen_tiny = tiny_generated("exp2")
+        other = FamilyConfig(
+            (FPFormat(9, 4), FPFormat(11, 4)),
+            log_table_bits=3, exp_table_bits=4, trig_table_bits=5,
+            name="other",
+        )
+        pipe_other = make_pipeline("exp2", other, oracle)
+        gen_other = generate_function(pipe_other)
+        # Each library verifies against its own family.
+        lib = GeneratedLibrary({"exp2": pipe_other}, {"exp2": gen_other})
+        rep = verify_exhaustive(
+            lib, "exp2", other.formats[0], 0, oracle, IEEE_MODES
+        )
+        assert rep.all_correct
+        # The tiny artifact's reduced-input domain differs (different J2):
+        # its polynomial is not interchangeable.
+        assert (
+            pipe_other.table_bits != pipe_tiny.table_bits
+            or gen_other.pieces[0].poly.coefficients
+            != gen_tiny.pieces[0].poly.coefficients
+        )
+
+
+class TestScalarVectorCodegenAgreement:
+    """One input sweep, three runtimes (scalar / numpy / C) — all equal.
+
+    The scalar-vs-numpy and scalar-vs-C pairs are covered separately in
+    the libm tests; this glues all three on a shared artifact, including
+    special inputs.
+    """
+
+    def test_three_runtimes_agree(self, oracle, tiny_generated, tmp_path):
+        import shutil
+        import numpy as np
+
+        from repro.libm.vectorized import VectorizedFunction
+
+        pipe, gen = tiny_generated("log2")
+        xs = [v.to_float() for v in all_finite(T8)]
+        scalar = [evaluate_generated(pipe, gen, x, 0) for x in xs]
+        vec = VectorizedFunction(pipe, gen)(np.array(xs), 0)
+        for s, v in zip(scalar, vec):
+            assert s == v or (s != s and v != v)
+        if shutil.which("gcc"):
+            from repro.libm.codegen import emit_selftest
+            import subprocess
+
+            src = tmp_path / "t.c"
+            exe = tmp_path / "t"
+            src.write_text(
+                emit_selftest(pipe, gen, xs, [
+                    scalar,
+                    [evaluate_generated(pipe, gen, x, 1) for x in xs],
+                ])
+            )
+            subprocess.run(
+                ["gcc", "-O2", "-std=c99", str(src), "-o", str(exe), "-lm"],
+                check=True,
+            )
+            out = subprocess.run([str(exe)], capture_output=True, text=True)
+            assert out.returncode == 0

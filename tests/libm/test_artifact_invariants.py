@@ -1,0 +1,76 @@
+"""Structural invariants every shipped artifact must satisfy.
+
+These are format-level contracts (term-count monotonicity, coefficient
+sanity, special-case shape) that hold for *any* regeneration seed, so
+they pin the artifact schema without freezing exact coefficients."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.libm.artifacts import available_artifacts, load_generated
+
+ARTIFACTS = available_artifacts()
+
+
+@pytest.mark.skipif(not ARTIFACTS, reason="no artifacts generated")
+@pytest.mark.parametrize(
+    "family,name", [(a["family"], a["name"]) for a in ARTIFACTS]
+)
+class TestEveryArtifact:
+    def test_loads_and_counts_monotone(self, family, name):
+        gen = load_generated(name, family)
+        assert gen.num_pieces >= 1
+        for piece in gen.pieces:
+            counts = piece.poly.term_counts
+            for lo, hi in zip(counts, counts[1:]):
+                assert all(a <= b for a, b in zip(lo, hi))
+            for q, shape in enumerate(piece.poly.shapes):
+                assert counts[-1][q] <= shape.terms
+
+    def test_coefficients_are_finite_doubles(self, family, name):
+        gen = load_generated(name, family)
+        for piece in gen.pieces:
+            for cs in piece.poly.double_coefficients:
+                for c in cs:
+                    assert math.isfinite(c)
+        for (_, xd), y in gen.specials.items():
+            assert math.isfinite(xd)
+            assert math.isfinite(y) or math.isinf(y)
+
+    def test_piece_bounds_sorted(self, family, name):
+        gen = load_generated(name, family)
+        bounds = [p.r_max for p in gen.pieces[:-1]]
+        assert all(b is not None for b in bounds)
+        assert bounds == sorted(bounds)
+        assert gen.pieces[-1].r_max is None
+
+    def test_exact_rational_matches_double(self, family, name):
+        gen = load_generated(name, family)
+        from repro.fp.doubles import to_double_nearest
+
+        for piece in gen.pieces:
+            for cs_exact, cs_dbl in zip(
+                piece.poly.coefficients, piece.poly.double_coefficients
+            ):
+                for ce, cd in zip(cs_exact, cs_dbl):
+                    assert to_double_nearest(ce) == cd
+
+    def test_special_levels_in_range(self, family, name):
+        gen = load_generated(name, family)
+        levels = len(gen.pieces[0].poly.term_counts)
+        for (level, _), _ in gen.specials.items():
+            assert 0 <= level < levels
+
+
+@pytest.mark.skipif(not ARTIFACTS, reason="no artifacts generated")
+def test_prog_families_have_small_storage():
+    """Progressive families (not the *all baselines) keep the paper's
+    storage discipline: at most 4 pieces, tiny coefficient tables."""
+    for art in ARTIFACTS:
+        if art["family"].endswith("all"):
+            continue
+        gen = load_generated(art["name"], art["family"])
+        assert gen.num_pieces <= 4, art
+        assert gen.storage_bytes <= 4 * 8 * 16, art

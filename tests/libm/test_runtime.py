@@ -1,0 +1,93 @@
+"""The RlibmProg runtime wrapper."""
+
+import math
+
+import pytest
+
+from repro.fp import FPValue, RoundingMode, T8, T10, round_real
+from repro.funcs import TINY_CONFIG
+from repro.libm import RlibmProg, round_double_to
+from repro.libm.runtime import RlibmProgFunction
+
+
+@pytest.fixture(scope="module")
+def lib(oracle, tiny_generated):
+    library = RlibmProg(TINY_CONFIG, oracle)
+    for name in ("exp2", "log2"):
+        _, gen = tiny_generated(name)
+        library.add_generated(gen)
+    return library
+
+
+class TestRlibmProg:
+    def test_attribute_access(self, lib):
+        assert isinstance(lib.exp2, RlibmProgFunction)
+        assert lib.function("log2").name == "log2"
+        with pytest.raises(AttributeError):
+            lib.sinpi  # not loaded
+
+    def test_contains_and_names(self, lib):
+        assert "exp2" in lib and "sinh" not in lib
+        assert set(lib.names) == {"exp2", "log2"}
+
+    def test_call_default_level_is_largest(self, lib):
+        f = lib.exp2
+        assert f(1.0) == f(1.0, level=TINY_CONFIG.levels - 1)
+
+    def test_progressive_levels_differ_only_in_terms(self, lib):
+        f = lib.exp2
+        y0 = f(0.21875, level=0)
+        y1 = f(0.21875, level=1)
+        # Both are valid approximations of 2^x near 1.16; they may differ
+        # in the last digits only.
+        assert abs(y0 - y1) < 1e-2
+        assert y0 != 0 and y1 != 0
+
+    def test_rounded_matches_oracle(self, lib, oracle):
+        for fmt, level in ((T8, 0), (T10, 1)):
+            for bits in range(0, 200, 7):
+                v = FPValue(fmt, bits)
+                if not v.is_finite:
+                    continue
+                got = lib.exp2.rounded(v, RoundingMode.RNE)
+                want = oracle.correctly_rounded("exp2", v.value, fmt, RoundingMode.RNE)
+                assert got.bits == want.bits
+
+    def test_rounded_nan_input(self, lib):
+        v = FPValue.nan(T10)
+        assert lib.exp2.rounded(v).is_nan
+
+    def test_rounded_foreign_format_rejected(self, lib):
+        from repro.fp import FLOAT32
+
+        with pytest.raises(ValueError):
+            lib.exp2.rounded(FPValue(FLOAT32, 0))
+
+    def test_pipeline_artifact_mismatch_rejected(self, lib, tiny_generated, oracle):
+        from repro.funcs import make_pipeline
+
+        pipe = make_pipeline("log2", TINY_CONFIG, oracle)
+        _, gen = tiny_generated("exp2")
+        with pytest.raises(ValueError):
+            RlibmProgFunction(pipe, gen)
+
+
+class TestRoundDoubleTo:
+    def test_finite(self):
+        v = round_double_to(1.5, T10, RoundingMode.RNE)
+        assert v.value == 1.5
+
+    def test_nan_inf(self):
+        assert round_double_to(math.nan, T10, RoundingMode.RNE).is_nan
+        assert round_double_to(math.inf, T10, RoundingMode.RNE).is_infinity
+        neg = round_double_to(-math.inf, T10, RoundingMode.RNE)
+        assert neg.is_infinity and neg.sign == 1
+
+    def test_signed_zero(self):
+        assert round_double_to(0.0, T10, RoundingMode.RNE).bits == 0
+        assert round_double_to(-0.0, T10, RoundingMode.RNE).bits == T10.sign_mask
+
+    def test_overflow_by_mode(self):
+        big = 1e300
+        assert round_double_to(big, T10, RoundingMode.RNE).is_infinity
+        assert round_double_to(big, T10, RoundingMode.RTZ).value == T10.max_value

@@ -1,0 +1,94 @@
+"""The shipped mini-family artifacts: loadable, well-formed, spot-correct.
+
+These tests run against the JSON artifacts checked into
+``repro/libm/artifacts`` (regenerable with examples/generate_libm.py);
+they skip if a family hasn't been generated yet.
+"""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.fp import RoundingMode, round_real
+from repro.funcs import MINI_CONFIG
+from repro.libm import RlibmProg, available_artifacts
+from repro.mp import FUNCTION_NAMES
+
+
+def _have_mini():
+    names = {
+        a["name"] for a in available_artifacts() if a["family"] == "mini"
+    }
+    return set(FUNCTION_NAMES) <= names
+
+
+pytestmark = pytest.mark.skipif(
+    not _have_mini(), reason="mini artifacts not generated yet"
+)
+
+
+@pytest.fixture(scope="module")
+def mini_lib(oracle):
+    return RlibmProg.from_artifacts(MINI_CONFIG, oracle=oracle)
+
+
+class TestShippedMiniLibrary:
+    def test_all_ten_load(self, mini_lib):
+        assert set(mini_lib.names) == set(FUNCTION_NAMES)
+
+    def test_paper_shape_properties(self, mini_lib):
+        for name in FUNCTION_NAMES:
+            gen = mini_lib.function(name).generated
+            assert gen.num_pieces <= 4
+            assert len(gen.specials) <= 4 * gen.num_pieces
+            assert gen.storage_bytes <= 64
+
+    def test_log_family_one_term_smallest(self, mini_lib):
+        for name in ("ln", "log2", "log10"):
+            counts = mini_lib.function(name).generated.pieces[0].poly.term_counts
+            assert counts[0][0] == 1, name
+            assert counts[-1][0] >= 3, name
+
+    def test_known_values(self, mini_lib):
+        assert mini_lib.exp2(3.0) == 8.0
+        assert mini_lib.log2(1024.0) == 10.0
+        assert mini_lib.ln(1.0) == 0.0
+        assert mini_lib.cosh(0.0) == 1.0
+        assert mini_lib.sinpi(0.5) == 1.0
+        assert math.isnan(mini_lib.log10(-3.0))
+
+    def test_spot_correctly_rounded_all_functions(self, mini_lib, oracle):
+        import random
+
+        rng = random.Random(11)
+        from repro.fp import sample_finite
+
+        for name in FUNCTION_NAMES:
+            fn = mini_lib.function(name)
+            for level, fmt in enumerate(MINI_CONFIG.formats):
+                for v in sample_finite(fmt, 25, rng):
+                    got = fn.rounded(v, RoundingMode.RNE)
+                    if v.is_nan:
+                        continue
+                    try:
+                        want = oracle.correctly_rounded(
+                            name, v.value, fmt, RoundingMode.RNE
+                        )
+                    except ValueError:
+                        continue  # outside the real domain (log x <= 0)
+                    mask = ~fmt.sign_mask
+                    assert got.bits == want.bits or (
+                        (got.bits & mask) == 0 and (want.bits & mask) == 0
+                    ) or (got.is_nan and want.is_nan), (name, level, v.bits)
+
+    def test_progressive_evaluation_really_truncates(self, mini_lib):
+        f = mini_lib.exp
+        counts = f.generated.pieces[0].poly.term_counts
+        if counts[0] == counts[-1]:
+            pytest.skip("no gap for exp in this artifact set")
+        x = 0.23431396484375
+        lo = f(x, level=0)
+        hi = f(x, level=2)
+        assert lo != hi
+        assert abs(lo - hi) < 1e-3

@@ -1,0 +1,97 @@
+"""Vectorized kernels must be bit-identical to the scalar runtime."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import collect_constraints, evaluate_generated
+from repro.core.rlibm_all import generate_rlibm_all
+from repro.fp import T8, T10, all_finite
+from repro.funcs import TINY_CONFIG, make_pipeline
+from repro.libm.vectorized import VectorizedFunction, _vrint, round_doubles_to_precision
+
+ALL_NAMES = ("ln", "log2", "log10", "exp", "exp2", "exp10", "sinh", "cosh", "sinpi", "cospi")
+
+
+def bits_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    return np.array_equal(a.view(np.uint64), b.view(np.uint64))
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_matches_scalar_exhaustively(name, oracle, tiny_generated):
+    pipe, gen = tiny_generated(name)
+    vec = VectorizedFunction(pipe, gen)
+    for level, fmt in enumerate(TINY_CONFIG.formats):
+        xs = np.array([v.to_float() for v in all_finite(fmt)])
+        got = vec(xs, level)
+        want = np.array(
+            [evaluate_generated(pipe, gen, float(x), level) for x in xs]
+        )
+        # NaN-tolerant bitwise comparison.
+        both_nan = np.isnan(got) & np.isnan(want)
+        mism = ~both_nan & (got.view(np.uint64) != want.view(np.uint64))
+        assert not mism.any(), (
+            name,
+            level,
+            xs[mism][:5],
+            got[mism][:5],
+            want[mism][:5],
+        )
+
+
+def test_special_inputs(tiny_generated):
+    pipe, gen = tiny_generated("exp2")
+    vec = VectorizedFunction(pipe, gen)
+    xs = np.array([math.nan, math.inf, -math.inf, 0.0, -0.0, 3.0, 1e9, -1e9])
+    out = vec(xs)
+    assert math.isnan(out[0])
+    assert out[1] == math.inf
+    assert out[2] == 0.0
+    assert out[3] == out[4] == 1.0
+    assert out[5] == 8.0
+    assert out[6] > TINY_CONFIG.largest.max_value
+    assert 0 < out[7] < 1e-200
+
+
+def test_piecewise_gather(oracle):
+    pipe = make_pipeline("exp2", TINY_CONFIG, oracle)
+    cons, _ = collect_constraints(pipe)
+    gen = generate_rlibm_all(pipe, cons, max_terms=2, min_pieces=2)
+    assert gen.num_pieces >= 2
+    vec = VectorizedFunction(pipe, gen)
+    xs = np.array([v.to_float() for v in all_finite(T10)])
+    got = vec(xs, 1)
+    want = np.array([evaluate_generated(pipe, gen, float(x), 1) for x in xs])
+    both_nan = np.isnan(got) & np.isnan(want)
+    assert np.array_equal(
+        got[~both_nan].view(np.uint64), want[~both_nan].view(np.uint64)
+    )
+
+
+def test_vrint_matches_scalar():
+    from repro.funcs.exps import _rint
+
+    vals = np.array([0.5, 1.5, 2.5, -0.5, -1.5, 0.49999999999999994, 3.7, -3.7, 0.0])
+    got = _vrint(vals)
+    want = np.array([_rint(float(v)) for v in vals])
+    assert np.array_equal(got, want)
+
+
+def test_round_doubles_to_precision():
+    y = np.array([1.0 + 2.0**-20, 1.0 + 2.0**-8])
+    out = round_doubles_to_precision(y, 53 - 10)  # keep 10 bits
+    assert out[0] == 1.0
+    assert out[1] == 1.0 + 2.0**-8
+
+
+def test_levels_change_results(tiny_generated):
+    pipe, gen = tiny_generated("exp2")
+    counts = gen.pieces[0].poly.term_counts
+    if counts[0] == counts[-1]:
+        pytest.skip("no progressive gap for this function")
+    vec = VectorizedFunction(pipe, gen)
+    xs = np.linspace(0.01, 0.9, 50)
+    a = vec(xs, 0)
+    b = vec(xs, len(counts) - 1)
+    assert not np.array_equal(a, b)

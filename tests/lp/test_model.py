@@ -1,0 +1,122 @@
+"""Margin LP model: fitting polynomials through interval constraints."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lp import ConstraintRow, check_rows, solve_margin_lp
+
+F = Fraction
+
+
+def poly_row(x: Fraction, k: int, lo, hi) -> ConstraintRow:
+    return ConstraintRow(tuple(x**j for j in range(k)), lo, hi)
+
+
+class TestSolveMarginLP:
+    def test_interpolation_line(self):
+        # Fit C0 + C1 x through [1,1] at x=0 and [3,3] at x=1.
+        rows = [
+            poly_row(F(0), 2, F(1), F(1)),
+            poly_row(F(1), 2, F(3), F(3)),
+        ]
+        sol = solve_margin_lp(rows, 2)
+        assert sol is not None
+        assert sol.coefficients == [F(1), F(2)]
+        # Singleton intervals have zero slab width, so they do not bound
+        # delta at all; the margin rides to the cap.
+        assert sol.margin == 1
+
+    def test_margin_is_maximized(self):
+        # One slab constraint: value in [0, 2] at x=0 -> C0 = 1 centered.
+        rows = [poly_row(F(0), 1, F(0), F(2))]
+        sol = solve_margin_lp(rows, 1)
+        assert sol is not None
+        assert sol.margin == 1  # capped at 1 (fully centered)
+        assert sol.coefficients[0] == F(1)
+
+    def test_infeasible(self):
+        rows = [
+            poly_row(F(0), 1, F(0), F(1)),
+            poly_row(F(0), 1, F(2), F(3)),  # C0 in [0,1] and [2,3]
+        ]
+        assert solve_margin_lp(rows, 1) is None
+
+    def test_one_sided_rows(self):
+        rows = [
+            ConstraintRow((F(1),), F(5), None),
+            ConstraintRow((F(1),), None, F(7)),
+        ]
+        sol = solve_margin_lp(rows, 1)
+        assert sol is not None
+        assert F(5) <= sol.coefficients[0] <= F(7)
+
+    def test_negative_coefficients(self):
+        rows = [
+            poly_row(F(0), 2, F(-2), F(-2)),
+            poly_row(F(1), 2, F(-5), F(-5)),
+        ]
+        sol = solve_margin_lp(rows, 2)
+        assert sol.coefficients == [F(-2), F(-3)]
+
+    def test_tiny_scales(self):
+        # Constraints at the scale of subnormal outputs must stay exact.
+        s = F(1, 2**120)
+        rows = [
+            poly_row(F(0), 2, s, 3 * s),
+            poly_row(F(1, 2**7), 2, 5 * s, 9 * s),
+        ]
+        sol = solve_margin_lp(rows, 2)
+        assert sol is not None
+        assert not check_rows(rows, sol.coefficients)
+
+    def test_quadratic_through_exp_like_intervals(self):
+        # Narrow intervals around exp(x) on small reduced inputs; a
+        # quadratic has enough freedom.
+        import math
+
+        rows = []
+        for i in range(-8, 9):
+            x = F(i, 2**10)
+            mid = F(math.exp(float(x))).limit_denominator(10**12)
+            w = F(1, 10**6)
+            rows.append(poly_row(x, 3, mid - w, mid + w))
+        sol = solve_margin_lp(rows, 3)
+        assert sol is not None
+        assert not check_rows(rows, sol.coefficients)
+        assert sol.margin > 0
+
+    def test_check_rows_reports_violations(self):
+        rows = [
+            poly_row(F(0), 1, F(0), F(1)),
+            poly_row(F(1), 1, F(5), F(6)),
+        ]
+        bad = check_rows(rows, [F(2)])
+        assert bad == [0, 1]
+        assert check_rows(rows, [F(1, 2)]) == [1]
+
+    def test_empty_rows(self):
+        sol = solve_margin_lp([], 3)
+        assert sol is not None
+        assert sol.coefficients == [F(0)] * 3
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.data())
+    def test_random_feasible_systems(self, data):
+        """Build rows around a known polynomial; solver must succeed and the
+        solution must satisfy every row exactly."""
+        k = data.draw(st.integers(1, 4))
+        true = [
+            F(data.draw(st.integers(-50, 50)), data.draw(st.integers(1, 20)))
+            for _ in range(k)
+        ]
+        rows = []
+        npts = data.draw(st.integers(k, 12))
+        for i in range(npts):
+            x = F(data.draw(st.integers(-100, 100)), 128)
+            val = sum(c * x**j for j, c in enumerate(true))
+            w = F(data.draw(st.integers(0, 100)), 1000)
+            rows.append(poly_row(x, k, val - w, val + w))
+        sol = solve_margin_lp(rows, k)
+        assert sol is not None
+        assert not check_rows(rows, sol.coefficients)

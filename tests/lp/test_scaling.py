@@ -1,0 +1,63 @@
+"""Row/column scaling helpers of the LP model layer."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lp.model import ConstraintRow, column_scales, solve_margin_lp, _row_scale
+
+F = Fraction
+
+
+class TestColumnScales:
+    def test_powers_of_two(self):
+        rows = [
+            ConstraintRow((F(1, 1024), F(3)), F(0), F(1)),
+            ConstraintRow((F(1, 2048), F(5)), F(0), F(1)),
+        ]
+        s = column_scales(rows, 2)
+        # Scales are powers of two bringing max |entry| into [1, 2).
+        for sc in s:
+            assert sc.numerator == 1 or sc.denominator == 1
+            n = sc.numerator * sc.denominator  # one of them is 1
+            assert n & (n - 1) == 0
+        assert s[0] == 1024
+        assert s[1] == F(1, 4)
+
+    def test_zero_column(self):
+        rows = [ConstraintRow((F(0), F(1)), F(0), F(1))]
+        s = column_scales(rows, 2)
+        assert s[0] == 1
+
+    @settings(max_examples=50)
+    @given(st.data())
+    def test_scaling_preserves_solutions(self, data):
+        # Solving with extreme column magnitudes must agree with the same
+        # system pre-scaled by hand.
+        k = 3
+        rows = []
+        for _ in range(6):
+            x = F(data.draw(st.integers(-100, 100)), 1 << 20)
+            val = F(1) + x * 7 + x * x * 3
+            w = F(1, 1000)
+            rows.append(
+                ConstraintRow((F(1), x, x * x), val - w, val + w)
+            )
+        sol = solve_margin_lp(rows, k)
+        assert sol is not None
+        for row in rows:
+            v = sum(m * c for m, c in zip(row.coeffs, sol.coefficients))
+            assert row.lo <= v <= row.hi
+
+
+class TestRowScale:
+    def test_normalizes_magnitude(self):
+        row = ConstraintRow((F(1, 2**130),), F(1, 2**131), F(3, 2**130))
+        rs = _row_scale(row)
+        mags = [abs(c) * rs for c in row.coeffs if c] + [abs(row.hi) * rs]
+        assert max(mags) >= F(1, 2)
+        assert max(mags) < 4
+
+    def test_empty_row(self):
+        row = ConstraintRow((F(0),), None, None)
+        assert _row_scale(row) == 1

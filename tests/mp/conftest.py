@@ -1,0 +1,19 @@
+"""Shared mpmath reference helpers for the mp test suite."""
+
+from fractions import Fraction
+
+import mpmath
+from mpmath.libmp import to_rational
+
+
+def mpf_to_fraction(v) -> Fraction:
+    """Exact rational value of an mpmath mpf."""
+    return Fraction(*to_rational(v._mpf_))
+
+
+def reference(fn, x: Fraction, prec: int) -> Fraction:
+    """fn(x) computed by mpmath at prec + 120 bits, as an exact rational
+    (of mpmath's own rounded result, which is accurate to ~prec+118 bits)."""
+    with mpmath.workprec(prec + 120):
+        v = fn(mpmath.mpf(x.numerator) / x.denominator)
+        return mpf_to_fraction(v)

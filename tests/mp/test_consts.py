@@ -1,0 +1,69 @@
+"""Constant enclosures: containment of known digits and tightness."""
+
+from fractions import Fraction
+
+import mpmath
+
+from repro.mp import consts
+
+from .conftest import reference
+
+
+def known(fn_name: str, prec: int) -> Fraction:
+    with mpmath.workprec(prec + 80):
+        v = {
+            "pi": mpmath.pi,
+            "ln2": mpmath.ln(2),
+            "ln10": mpmath.ln(10),
+            "log2_10": mpmath.log(10, 2),
+            "log2_e": 1 / mpmath.ln(2),
+        }[fn_name]
+        from .conftest import mpf_to_fraction
+
+        return mpf_to_fraction(+v)
+
+
+class TestConstants:
+    def test_pi_contains_and_tight(self):
+        for prec in (64, 128, 256, 512):
+            enc = consts.pi(prec)
+            assert enc.contains_fraction(known("pi", prec))
+            assert enc.width_ulps <= 16
+
+    def test_ln2(self):
+        for prec in (64, 200):
+            enc = consts.ln2(prec)
+            assert enc.contains_fraction(known("ln2", prec))
+            assert enc.width_ulps <= 16
+
+    def test_ln10(self):
+        enc = consts.ln10(128)
+        assert enc.contains_fraction(known("ln10", 128))
+        assert enc.width_ulps <= 16
+
+    def test_log2_10(self):
+        enc = consts.log2_10(128)
+        assert enc.contains_fraction(known("log2_10", 128))
+        assert enc.width_ulps <= 32
+
+    def test_log2_e(self):
+        enc = consts.log2_e(128)
+        assert enc.contains_fraction(known("log2_e", 128))
+        assert enc.width_ulps <= 32
+
+    def test_pi_first_digits(self):
+        enc = consts.pi(80)
+        mid = float(enc.mid_fraction)
+        assert abs(mid - 3.14159265358979323846) < 1e-15
+
+    def test_cache_hit_is_same_object(self):
+        a = consts.pi(96)
+        b = consts.pi(96)
+        assert a is b
+
+    def test_clear_cache(self):
+        a = consts.pi(96)
+        consts.clear_cache()
+        b = consts.pi(96)
+        assert a is not b
+        assert (a.lo, a.hi) == (b.lo, b.hi)

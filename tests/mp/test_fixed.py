@@ -1,0 +1,165 @@
+"""Tests for directed fixed-point interval arithmetic."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mp.fixed import FI, ceil_div, ceil_shift, floor_div, floor_shift
+
+PREC = 64
+
+
+def fi(x, prec=PREC):
+    return FI.from_fraction(Fraction(x), prec)
+
+
+rationals = st.fractions(
+    min_value=Fraction(-1000), max_value=Fraction(1000), max_denominator=10**6
+)
+nonzero_rationals = rationals.filter(lambda x: abs(x) > Fraction(1, 100))
+
+
+class TestShifts:
+    def test_floor_shift(self):
+        assert floor_shift(7, 1) == 3
+        assert floor_shift(-7, 1) == -4
+        assert floor_shift(7, -1) == 14
+
+    def test_ceil_shift(self):
+        assert ceil_shift(7, 1) == 4
+        assert ceil_shift(-7, 1) == -3
+        assert ceil_shift(6, 1) == 3
+
+    def test_divs(self):
+        assert floor_div(7, 2) == 3
+        assert ceil_div(7, 2) == 4
+        assert floor_div(-7, 2) == -4
+        assert ceil_div(-7, 2) == -3
+        assert floor_div(7, -2) == -4
+        assert ceil_div(7, -2) == -3
+
+    @given(st.integers(-10**9, 10**9), st.integers(0, 60))
+    def test_shift_bounds(self, x, s):
+        lo, hi = floor_shift(x, s), ceil_shift(x, s)
+        assert lo * (1 << s) <= x <= hi * (1 << s)
+        assert hi - lo <= 1
+
+
+class TestConstruction:
+    def test_exact_dyadic(self):
+        x = FI.exact_dyadic(Fraction(3, 8), 16)
+        assert x.lo == x.hi == 3 * (1 << 13)
+
+    def test_exact_dyadic_rejects(self):
+        with pytest.raises(ValueError):
+            FI.exact_dyadic(Fraction(1, 3), 16)
+
+    def test_from_fraction_encloses(self):
+        x = fi(Fraction(1, 3))
+        assert x.lo_fraction <= Fraction(1, 3) <= x.hi_fraction
+        assert x.width_ulps == 1
+
+    def test_from_int(self):
+        x = FI.from_int(-5, 10)
+        assert x.lo_fraction == -5
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            FI(1, 0, 8)
+
+
+class TestArithmeticEnclosure:
+    """Soundness: op(enclosure(a), enclosure(b)) contains op(a, b)."""
+
+    @given(rationals, rationals)
+    def test_add(self, a, b):
+        assert (fi(a) + fi(b)).contains_fraction(a + b)
+
+    @given(rationals, rationals)
+    def test_sub(self, a, b):
+        assert (fi(a) - fi(b)).contains_fraction(a - b)
+
+    @given(rationals, rationals)
+    def test_mul(self, a, b):
+        assert (fi(a) * fi(b)).contains_fraction(a * b)
+
+    @given(rationals)
+    def test_square(self, a):
+        sq = fi(a).square()
+        assert sq.contains_fraction(a * a)
+        assert sq.lo >= 0
+
+    @given(rationals, nonzero_rationals)
+    def test_div(self, a, b):
+        assert (fi(a) / fi(b)).contains_fraction(a / b)
+
+    @given(nonzero_rationals)
+    def test_inv(self, a):
+        assert fi(a).inv().contains_fraction(1 / a)
+
+    @given(rationals, st.integers(-1000, 1000))
+    def test_mul_int(self, a, n):
+        assert fi(a).mul_int(n).contains_fraction(a * n)
+
+    @given(rationals, st.integers(1, 1000))
+    def test_div_int(self, a, n):
+        assert fi(a).div_int(n).contains_fraction(Fraction(a, n))
+        assert fi(a).div_int(-n).contains_fraction(Fraction(a, -n))
+
+    @given(rationals, st.integers(-40, 40))
+    def test_scale2(self, a, k):
+        assert fi(a).scale2(k).contains_fraction(a * Fraction(2) ** k)
+
+    @given(rationals)
+    def test_neg(self, a):
+        assert (-fi(a)).contains_fraction(-a)
+
+    def test_div_by_zero_interval(self):
+        with pytest.raises(ZeroDivisionError):
+            fi(1) / FI(-1, 1, PREC)
+        with pytest.raises(ZeroDivisionError):
+            fi(1).div_int(0)
+
+    def test_prec_mismatch(self):
+        with pytest.raises(ValueError):
+            fi(1, 32) + fi(1, 64)
+
+
+class TestTightness:
+    """Operations should not blow enclosures up beyond a few ulps."""
+
+    @given(rationals, rationals)
+    def test_mul_width(self, a, b):
+        w = (fi(a) * fi(b)).width_ulps
+        # Inputs are 1-ulp wide; the product is a few thousand ulps at most
+        # for |a|,|b| <= 1000.
+        assert w <= 4 * 1024 + 8
+
+    @given(nonzero_rationals)
+    def test_inv_width_small(self, a):
+        w = fi(a).inv().width_ulps
+        assert w <= 4 * 10**4 + 8  # 1/|a| <= 100 -> derivative <= 10^4
+
+
+class TestHelpers:
+    def test_mid_width(self):
+        x = FI(10, 14, 4)
+        assert x.mid_fraction == Fraction(12, 16)
+        assert x.width_ulps == 4
+
+    def test_widen(self):
+        x = FI(0, 0, 4).widen_ulps(3)
+        assert (x.lo, x.hi) == (-3, 3)
+
+    def test_hull(self):
+        h = FI.hull([FI(0, 1, 4), FI(-5, -2, 4), FI(3, 7, 4)])
+        assert (h.lo, h.hi) == (-5, 7)
+
+    def test_signs(self):
+        assert FI(1, 2, 4).is_positive()
+        assert FI(-2, -1, 4).is_negative()
+        assert FI(-1, 1, 4).contains_zero()
+
+    def test_mag_hi(self):
+        assert FI(-7, 3, 4).mag_hi() == 7

@@ -1,0 +1,181 @@
+"""Full-range function enclosures vs mpmath references."""
+
+from fractions import Fraction
+
+import mpmath
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mp import functions
+
+from .conftest import reference
+
+PREC = 96
+
+MPMATH_FN = {
+    "exp": mpmath.exp,
+    "exp2": lambda v: mpmath.power(2, v),
+    "exp10": lambda v: mpmath.power(10, v),
+    "ln": mpmath.ln,
+    "log2": lambda v: mpmath.log(v, 2),
+    "log10": mpmath.log10,
+    "sinh": mpmath.sinh,
+    "cosh": mpmath.cosh,
+    "sinpi": lambda v: mpmath.sin(mpmath.pi * v),
+    "cospi": lambda v: mpmath.cos(mpmath.pi * v),
+}
+
+
+def check(name: str, x: Fraction, prec: int = PREC):
+    enc = functions.FUNCTIONS[name](x, prec)
+    true = reference(MPMATH_FN[name], x, prec)
+    assert enc.lo_fraction <= true <= enc.hi_fraction, (
+        f"{name}({x}): [{float(enc.lo_fraction)}, {float(enc.hi_fraction)}] "
+        f"misses {float(true)}"
+    )
+    return enc
+
+
+# Dyadic inputs, like actual FP values.
+def dyadics(lo: int, hi: int, scale_bits: int = 20):
+    return st.integers(lo << scale_bits, hi << scale_bits).map(
+        lambda n: Fraction(n, 1 << scale_bits)
+    )
+
+
+class TestExpFamily:
+    @settings(max_examples=50)
+    @given(dyadics(-30, 30))
+    def test_exp(self, x):
+        check("exp", x)
+
+    @settings(max_examples=50)
+    @given(dyadics(-40, 40))
+    def test_exp2(self, x):
+        check("exp2", x)
+
+    @settings(max_examples=50)
+    @given(dyadics(-12, 12))
+    def test_exp10(self, x):
+        check("exp10", x)
+
+    def test_exp_large(self):
+        check("exp", Fraction(88))
+        check("exp", Fraction(-87))
+
+    def test_exp2_subnormal_range(self):
+        enc = check("exp2", Fraction(-140), prec=220)
+        assert enc.is_positive()
+
+    def test_exp2_integer_exact(self):
+        enc = functions.exp2(Fraction(10), PREC)
+        assert enc.contains_fraction(Fraction(1024))
+        assert enc.width_ulps <= 1 << 12  # scaled by 2^10
+
+
+class TestLogFamily:
+    @settings(max_examples=50)
+    @given(dyadics(1, 1 << 16).filter(lambda x: x > 0))
+    def test_ln(self, x):
+        check("ln", x)
+
+    @settings(max_examples=50)
+    @given(dyadics(1, 1 << 16).filter(lambda x: x > 0))
+    def test_log2(self, x):
+        check("log2", x)
+
+    @settings(max_examples=50)
+    @given(dyadics(1, 1 << 16).filter(lambda x: x > 0))
+    def test_log10(self, x):
+        check("log10", x)
+
+    def test_small_positive(self):
+        for name in ("ln", "log2", "log10"):
+            check(name, Fraction(1, 1 << 30))
+            check(name, Fraction(3, 1 << 24))
+
+    def test_near_one(self):
+        for name in ("ln", "log2", "log10"):
+            check(name, Fraction(1) + Fraction(1, 1 << 20))
+            check(name, Fraction(1) - Fraction(1, 1 << 20))
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            functions.ln(Fraction(0), PREC)
+        with pytest.raises(ValueError):
+            functions.log2(Fraction(-1), PREC)
+
+
+class TestHyperbolic:
+    @settings(max_examples=50)
+    @given(dyadics(-20, 20))
+    def test_sinh(self, x):
+        check("sinh", x)
+
+    @settings(max_examples=50)
+    @given(dyadics(-20, 20))
+    def test_cosh(self, x):
+        check("cosh", x)
+
+    def test_sinh_tiny_no_cancellation(self):
+        x = Fraction(1, 1 << 24)
+        enc = check("sinh", x)
+        # Enclosure must be tight in *relative* terms despite the tiny value.
+        assert enc.width_ulps <= 8
+
+    def test_sinh_odd(self):
+        # Enclosures need not be bit-identical under mirroring (the exp
+        # reduction rounds differently), but they must overlap.
+        x = Fraction(5, 4)
+        a = functions.sinh(x, PREC)
+        b = functions.sinh(-x, PREC)
+        assert a.lo <= -b.lo and -b.hi <= a.hi
+
+
+class TestTrigPi:
+    @settings(max_examples=60)
+    @given(dyadics(-8, 8))
+    def test_sinpi(self, x):
+        check("sinpi", x)
+
+    @settings(max_examples=60)
+    @given(dyadics(-8, 8))
+    def test_cospi(self, x):
+        check("cospi", x)
+
+    def test_periodicity_large_arg(self):
+        # 2^20 + 1/4: sinpi = sin(pi/4) exactly by periodicity.
+        x = Fraction((1 << 20) * 4 + 1, 4)
+        enc = check("sinpi", x)
+        root_half = reference(lambda v: mpmath.sqrt(v), Fraction(1, 2), PREC)
+        assert abs(enc.mid_fraction - root_half) < Fraction(1, 1 << 80)
+
+    def test_quadrants(self):
+        assert functions.sinpi(Fraction(1, 4), PREC).is_positive()
+        assert functions.sinpi(Fraction(3, 4), PREC).is_positive()
+        assert functions.sinpi(Fraction(5, 4), PREC).is_negative()
+        assert functions.cospi(Fraction(1, 4), PREC).is_positive()
+        assert functions.cospi(Fraction(3, 4), PREC).is_negative()
+        assert functions.cospi(Fraction(7, 4), PREC).is_positive()
+
+    def test_even_odd_symmetry(self):
+        x = Fraction(3, 8)
+        s_pos = functions.sinpi(x, PREC)
+        s_neg = functions.sinpi(-x, PREC)
+        assert s_pos.lo == -s_neg.hi
+        c_pos = functions.cospi(x, PREC)
+        c_neg = functions.cospi(-x, PREC)
+        assert (c_pos.lo, c_pos.hi) == (c_neg.lo, c_neg.hi)
+
+
+class TestPrecisionScaling:
+    def test_width_halves_with_more_precision(self):
+        x = Fraction(7, 5)
+        for name in functions.FUNCTIONS:
+            arg = x if name not in ("ln", "log2", "log10") else x + 1
+            w1 = functions.FUNCTIONS[name](arg, 64)
+            w2 = functions.FUNCTIONS[name](arg, 128)
+            # Relative width must improve by roughly 2^64.
+            rel1 = Fraction(w1.width_ulps + 1, 1 << 64)
+            rel2 = Fraction(w2.width_ulps + 1, 1 << 128)
+            assert rel2 < rel1 / (1 << 32), name

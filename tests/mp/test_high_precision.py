@@ -1,0 +1,93 @@
+"""High-precision stress: enclosures stay sound and tight at 512+ bits."""
+
+from fractions import Fraction
+
+import mpmath
+import pytest
+
+from repro.mp import FI, Oracle
+from repro.mp import consts, functions
+from repro.mp.series import atanh_series, exp_series
+
+from .conftest import mpf_to_fraction
+
+
+def reference_hp(fn, x: Fraction, prec: int) -> Fraction:
+    with mpmath.workprec(prec + 200):
+        return mpf_to_fraction(fn(mpmath.mpf(x.numerator) / x.denominator))
+
+
+HIGH_PRECS = (256, 512, 1024)
+
+
+class TestConstantsHighPrecision:
+    @pytest.mark.parametrize("prec", HIGH_PRECS)
+    def test_pi(self, prec):
+        enc = consts.pi(prec)
+        true = reference_hp(lambda v: mpmath.pi + 0 * v, Fraction(1), prec)
+        assert enc.contains_fraction(true)
+        assert enc.width_ulps <= 32
+
+    @pytest.mark.parametrize("prec", HIGH_PRECS)
+    def test_ln2(self, prec):
+        enc = consts.ln2(prec)
+        true = reference_hp(mpmath.ln, Fraction(2), prec)
+        assert enc.contains_fraction(true)
+        assert enc.width_ulps <= 32
+
+
+class TestFunctionsHighPrecision:
+    @pytest.mark.parametrize("prec", (256, 512))
+    def test_exp(self, prec):
+        x = Fraction(7, 3)
+        enc = functions.exp(x, prec)
+        true = reference_hp(mpmath.exp, x, prec)
+        assert enc.lo_fraction <= true <= enc.hi_fraction
+        # Relative width ~prec bits.
+        assert enc.width_ulps <= enc.mag_hi() >> (prec - 40)
+
+    @pytest.mark.parametrize("prec", (256, 512))
+    def test_log2(self, prec):
+        x = Fraction(1234567, 1024)
+        enc = functions.log2(x, prec)
+        true = reference_hp(lambda v: mpmath.log(v, 2), x, prec)
+        assert enc.lo_fraction <= true <= enc.hi_fraction
+
+    def test_sinpi_512(self):
+        x = Fraction(12345, 65536)
+        enc = functions.sinpi(x, 512)
+        true = reference_hp(lambda v: mpmath.sin(mpmath.pi * v), x, 512)
+        assert enc.lo_fraction <= true <= enc.hi_fraction
+
+
+class TestSeriesConvergenceHighPrecision:
+    def test_exp_series_512(self):
+        enc = exp_series(FI.from_fraction(Fraction(1, 2), 512))
+        true = reference_hp(mpmath.exp, Fraction(1, 2), 512)
+        assert enc.contains_fraction(true)
+        assert enc.width_ulps <= 1 << 12
+
+    def test_atanh_series_512(self):
+        enc = atanh_series(FI.from_fraction(Fraction(1, 5), 512))
+        true = reference_hp(mpmath.atanh, Fraction(1, 5), 512)
+        assert enc.contains_fraction(true)
+
+
+class TestZivEscalationDepth:
+    def test_hard_log_needs_several_doublings(self):
+        """An input engineered so log2 is ~2^-200 from a rounding boundary
+        forces the Ziv loop through multiple precisions and still lands
+        correctly."""
+        from repro.fp import FLOAT32, RoundingMode, round_real
+
+        oracle = Oracle()
+        tie = Fraction(3) + Fraction(3, 1 << 23)
+        t = oracle.tight_value("exp2", tie, 260)
+        x = Fraction(round(t * (1 << 250)), 1 << 250)
+        got = oracle.correctly_rounded("log2", x, FLOAT32, RoundingMode.RNE)
+        want = round_real(
+            reference_hp(lambda v: mpmath.log(v, 2), x, 400),
+            FLOAT32,
+            RoundingMode.RNE,
+        )
+        assert got.bits == want.bits

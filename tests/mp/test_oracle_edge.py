@@ -1,0 +1,81 @@
+"""Oracle edge cases: precision seeding, escalation, failure modes."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.fp import FLOAT16, FLOAT32, RoundingMode
+from repro.mp import Oracle, OraclePrecisionError
+from repro.mp.oracle import _log2_magnitude_estimate
+
+
+class TestInitialPrecision:
+    def test_tiny_results_get_more_bits(self):
+        oracle = Oracle()
+        # exp2(-100) ~ 2^-100 needs ~100 extra absolute bits.
+        small = oracle.initial_precision("exp2", Fraction(-100), FLOAT16)
+        normal = oracle.initial_precision("exp2", Fraction(1), FLOAT16)
+        assert small >= normal + 80
+
+    def test_log_near_one(self):
+        oracle = Oracle()
+        x = Fraction(1) + Fraction(1, 1 << 20)
+        p = oracle.initial_precision("ln", x, FLOAT16)
+        assert p >= 64
+
+    def test_estimates_do_not_raise_on_extremes(self):
+        for fn in ("exp", "exp2", "exp10", "ln", "log2", "log10",
+                   "sinh", "cosh", "sinpi", "cospi"):
+            for x in (Fraction(10) ** 301, -Fraction(10) ** 301, Fraction(1),
+                      Fraction(1, 10**30)):
+                if fn in ("ln", "log2", "log10") and x <= 0:
+                    continue
+                est = _log2_magnitude_estimate(fn, x)
+                assert est == est  # not NaN
+
+
+class TestPrecisionEscalation:
+    @staticmethod
+    def _hard_input():
+        """A dyadic x whose log2 sits ~2^-85 from a float32 RNE boundary."""
+        oracle = Oracle()
+        tie = Fraction(2) + Fraction(1, 1 << 23)  # midpoint exponent
+        t = oracle.tight_value("exp2", tie, 120)
+        num = round(t * (1 << 110))
+        return Fraction(num, 1 << 110)
+
+    def test_cap_raises(self):
+        x = self._hard_input()
+        oracle = Oracle(max_prec=96)
+        with pytest.raises(OraclePrecisionError):
+            oracle.correctly_rounded("log2", x, FLOAT32, RoundingMode.RNE)
+
+    def test_default_cap_sufficient(self):
+        x = self._hard_input()
+        oracle = Oracle()
+        v = oracle.correctly_rounded("log2", x, FLOAT32, RoundingMode.RNE)
+        assert abs(v.value - 2) <= Fraction(1, 1 << 22)
+
+    def test_correctly_rounded_all_consistent(self):
+        oracle = Oracle()
+        from repro.fp import IEEE_MODES
+
+        x = Fraction(7, 8)
+        both = oracle.correctly_rounded_all("exp", x, FLOAT16, IEEE_MODES)
+        for mode in IEEE_MODES:
+            single = oracle.correctly_rounded("exp", x, FLOAT16, mode)
+            assert both[mode].bits == single.bits
+
+    def test_tight_value_cap(self):
+        oracle = Oracle(max_prec=64)
+        with pytest.raises(OraclePrecisionError):
+            oracle.tight_value("exp", Fraction(1), 200)
+
+
+class TestRoundedCache:
+    def test_cache_disabled(self):
+        oracle = Oracle(cache_rounded=False)
+        a = oracle.correctly_rounded("exp", Fraction(1), FLOAT16, RoundingMode.RNE)
+        b = oracle.correctly_rounded("exp", Fraction(1), FLOAT16, RoundingMode.RNE)
+        assert a.bits == b.bits
+        assert a is not b

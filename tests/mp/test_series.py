@@ -1,0 +1,142 @@
+"""Series kernels: enclosures must contain high-precision reference values."""
+
+from fractions import Fraction
+
+import mpmath
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mp.fixed import FI
+from repro.mp.series import (
+    atan_series,
+    atanh_series,
+    cos_series,
+    cosh_series,
+    exp_series,
+    sin_series,
+    sinh_series,
+)
+
+from .conftest import reference
+
+PREC = 96
+
+
+def ref(fn, x: Fraction) -> Fraction:
+    return reference(fn, x, PREC)
+
+
+def check(kernel, mp_fn, x: Fraction, max_width=64):
+    enc = kernel(FI.from_fraction(x, PREC))
+    true = ref(mp_fn, x)
+    assert enc.lo_fraction <= true <= enc.hi_fraction, f"x={x}"
+    assert enc.width_ulps <= max_width, f"x={x} width={enc.width_ulps}"
+
+
+small = st.fractions(
+    min_value=Fraction(-3, 4), max_value=Fraction(3, 4), max_denominator=10**9
+)
+tiny = st.fractions(
+    min_value=Fraction(-1, 3), max_value=Fraction(1, 3), max_denominator=10**9
+)
+unit = st.fractions(min_value=Fraction(-1), max_value=Fraction(1), max_denominator=10**9)
+sincos_dom = st.fractions(
+    min_value=Fraction(-17, 10), max_value=Fraction(17, 10), max_denominator=10**9
+)
+atan_dom = st.fractions(
+    min_value=Fraction(-1, 4), max_value=Fraction(1, 4), max_denominator=10**9
+)
+
+
+class TestKernels:
+    @settings(max_examples=60)
+    @given(small)
+    def test_exp(self, x):
+        check(exp_series, mpmath.exp, x)
+
+    @settings(max_examples=60)
+    @given(tiny)
+    def test_atanh(self, x):
+        check(atanh_series, mpmath.atanh, x)
+
+    @settings(max_examples=60)
+    @given(sincos_dom)
+    def test_sin(self, x):
+        check(sin_series, mpmath.sin, x)
+
+    @settings(max_examples=60)
+    @given(sincos_dom)
+    def test_cos(self, x):
+        check(cos_series, mpmath.cos, x)
+
+    @settings(max_examples=60)
+    @given(unit)
+    def test_sinh(self, x):
+        check(sinh_series, mpmath.sinh, x)
+
+    @settings(max_examples=60)
+    @given(unit)
+    def test_cosh(self, x):
+        check(cosh_series, mpmath.cosh, x)
+
+    @settings(max_examples=60)
+    @given(atan_dom)
+    def test_atan(self, x):
+        check(atan_series, mpmath.atan, x)
+
+
+class TestKnownValues:
+    def test_exp_zero(self):
+        enc = exp_series(FI.from_int(0, PREC))
+        assert enc.contains_fraction(Fraction(1))
+        assert enc.width_ulps <= 4
+
+    def test_sin_zero(self):
+        assert sin_series(FI.from_int(0, PREC)).contains_fraction(Fraction(0))
+
+    def test_cos_zero(self):
+        assert cos_series(FI.from_int(0, PREC)).contains_fraction(Fraction(1))
+
+    def test_exp_half_digits(self):
+        # e^(1/2) = 1.6487212707001281468...
+        enc = exp_series(FI.from_fraction(Fraction(1, 2), PREC))
+        known = Fraction(16487212707001281468, 10**19)
+        assert abs(enc.mid_fraction - known) < Fraction(1, 10**18)
+
+
+class TestDomainGuards:
+    def test_exp_domain(self):
+        with pytest.raises(ValueError):
+            exp_series(FI.from_int(1, PREC))
+
+    def test_atanh_domain(self):
+        with pytest.raises(ValueError):
+            atanh_series(FI.from_fraction(Fraction(1, 2), PREC))
+
+    def test_sin_domain(self):
+        with pytest.raises(ValueError):
+            sin_series(FI.from_int(2, PREC))
+
+    def test_sinh_domain(self):
+        with pytest.raises(ValueError):
+            sinh_series(FI.from_fraction(Fraction(3, 2), PREC))
+
+    def test_atan_domain(self):
+        with pytest.raises(ValueError):
+            atan_series(FI.from_fraction(Fraction(1, 2), PREC))
+
+
+class TestIntervalInputs:
+    """Kernels must stay sound for genuinely wide interval inputs."""
+
+    def test_exp_wide_input(self):
+        x = FI(-(1 << 94), 1 << 94, PREC)  # [-1/4, 1/4]
+        enc = exp_series(x)
+        for frac in (Fraction(-1, 4), Fraction(0), Fraction(1, 4)):
+            assert enc.contains_fraction(ref(mpmath.exp, frac) if frac else Fraction(1))
+
+    def test_sin_wide_input(self):
+        x = FI(0, 1 << 95, PREC)  # [0, 1/2]
+        enc = sin_series(x)
+        assert enc.contains_fraction(Fraction(0))
+        assert enc.contains_fraction(ref(mpmath.sin, Fraction(1, 2)))

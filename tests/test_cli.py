@@ -1,0 +1,88 @@
+"""The `python -m repro` command-line interface."""
+
+import contextlib
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.libm.artifacts import save_generated
+
+
+@pytest.fixture(scope="module")
+def artifact_dir(tmp_path_factory, tiny_generated):
+    d = tmp_path_factory.mktemp("artifacts")
+    for name in ("exp2", "log2"):
+        _, gen = tiny_generated(name)
+        save_generated(gen, d)
+    return d
+
+
+def run_cli(*args):
+    buf = io.StringIO()
+    with contextlib.redirect_stdout(buf):
+        code = main(list(args))
+    return code, buf.getvalue()
+
+
+class TestInfo:
+    def test_lists_artifacts(self, artifact_dir):
+        code, out = run_cli("info", "--dir", str(artifact_dir))
+        assert code == 0
+        assert "exp2" in out and "log2" in out
+        assert "pieces" in out
+
+    def test_empty_dir(self, tmp_path):
+        code, out = run_cli("info", "--dir", str(tmp_path))
+        assert code == 1
+
+
+class TestEval:
+    def test_eval_known_value(self, artifact_dir):
+        code, out = run_cli(
+            "eval", "exp2", "3.0", "--family", "tiny", "--dir", str(artifact_dir)
+        )
+        assert code == 0
+        assert "8.0" in out
+
+    def test_eval_level(self, artifact_dir):
+        code, out = run_cli(
+            "eval", "log2", "2.0", "--family", "tiny", "--level", "0",
+            "--dir", str(artifact_dir),
+        )
+        assert code == 0
+        assert "1" in out
+
+
+class TestCodegen:
+    def test_emits_c(self, artifact_dir):
+        code, out = run_cli(
+            "codegen", "exp2", "--family", "tiny", "--dir", str(artifact_dir)
+        )
+        assert code == 0
+        assert "#include <math.h>" in out
+        assert "rlibm_tiny_exp2" in out
+
+
+class TestVerify:
+    def test_verify_passes(self, artifact_dir):
+        code, out = run_cli(
+            "verify", "--family", "tiny", "--functions", "exp2",
+            "--dir", str(artifact_dir),
+        )
+        assert code == 0
+        assert "OK" in out
+
+
+class TestGenerate:
+    def test_generate_one(self, tmp_path):
+        code, out = run_cli(
+            "generate", "--family", "tiny", "--functions", "log2",
+            "--out-dir", str(tmp_path),
+        )
+        assert code == 0
+        assert (tmp_path / "tiny_log2.json").exists()
+
+    def test_unknown_family(self):
+        with pytest.raises(SystemExit):
+            run_cli("generate", "--family", "nope")

@@ -1,0 +1,74 @@
+"""Smoke tests: the example scripts run end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 420):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stdout}\n{proc.stderr}"
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "Exhaustive verification" in out
+    assert "OK" in out
+    assert "WRONG" not in out
+
+
+def test_custom_format():
+    out = run_example("custom_format.py")
+    assert "every input of every format correctly rounded" in out
+
+
+def test_generate_libm_cli(tmp_path):
+    out = run_example(
+        "generate_libm.py",
+        "--family", "tiny", "--functions", "log2",
+        "--out-dir", str(tmp_path),
+    )
+    assert "all functions generated" in out
+    assert (tmp_path / "tiny_log2.json").exists()
+
+
+def test_generate_libm_baseline_all(tmp_path):
+    out = run_example(
+        "generate_libm.py",
+        "--family", "tiny", "--functions", "exp2",
+        "--baseline", "all", "--out-dir", str(tmp_path),
+    )
+    assert "all functions generated" in out
+    assert (tmp_path / "tinyall_exp2.json").exists()
+
+
+def test_ml_inference():
+    import pytest
+
+    from repro.libm.artifacts import available_artifacts
+
+    have = {a["name"] for a in available_artifacts() if a["family"] == "mini"}
+    if not {"exp", "ln"} <= have:
+        pytest.skip("mini artifacts not generated")
+    out = run_example("ml_inference.py")
+    assert "all spot checks correctly rounded" in out
+
+
+def test_wrong_results():
+    import re
+
+    out = run_example("wrong_results.py", timeout=600)
+    counts = dict(re.findall(r"(\S+):\s+(\d+)\s*$", out, re.MULTILINE))
+    assert counts["rlibm-prog"] == "0"
+    assert int(counts["glibc-like"]) > 0
+    assert int(counts["crlibm-like"]) > 0

@@ -1,0 +1,61 @@
+"""Vectorized RO-interval verification."""
+
+import numpy as np
+import pytest
+
+from repro.funcs import TINY_CONFIG
+from repro.verify.fast import fast_verify, fast_verify_level
+
+
+class TestFastVerify:
+    def test_generated_all_correct(self, tiny_generated):
+        pipe, gen = tiny_generated("exp2")
+        ok, reports = fast_verify(pipe, gen)
+        assert ok
+        assert len(reports) == TINY_CONFIG.levels
+        for rep in reports:
+            assert rep.total > 0
+            assert rep.screened_ok + rep.exact_rechecks == rep.total
+            # The double screen clears the vast majority of inputs.
+            assert rep.screened_ok >= 0.9 * rep.total
+
+    def test_detects_corruption(self, tiny_generated):
+        import dataclasses
+
+        from repro.core.polynomial import ProgressivePolynomial
+        from repro.core.search import GeneratedFunction, Piece
+        from fractions import Fraction
+
+        pipe, gen = tiny_generated("exp2")
+        poly = gen.pieces[0].poly
+        bad_c = list(poly.coefficients[0])
+        bad_c[0] = bad_c[0] * (1 + Fraction(1, 1 << 8))
+        bad_poly = ProgressivePolynomial(
+            poly.shapes, (tuple(bad_c),), poly.term_counts
+        )
+        bad = GeneratedFunction(
+            gen.name, gen.family_name, [Piece(bad_poly, None)], dict(gen.specials)
+        )
+        ok, reports = fast_verify(pipe, bad)
+        assert not ok
+        assert any(rep.wrong for rep in reports)
+
+    def test_input_subset(self, tiny_generated):
+        pipe, gen = tiny_generated("log2")
+        xs = np.array([1.5, 2.5, 3.25, 7.0])
+        rep = fast_verify_level(pipe, gen, 0, xs)
+        assert rep.total == 4
+        assert rep.all_correct
+
+    def test_agrees_with_slow_path(self, tiny_generated, oracle):
+        """fast_verify and the per-mode exhaustive checker must agree on
+        correctness for the same artifact."""
+        from repro.fp import IEEE_MODES, T8
+        from repro.libm.baselines import GeneratedLibrary
+        from repro.verify import verify_exhaustive
+
+        pipe, gen = tiny_generated("sinh")
+        ok, _ = fast_verify(pipe, gen)
+        lib = GeneratedLibrary({"sinh": pipe}, {"sinh": gen})
+        rep = verify_exhaustive(lib, "sinh", T8, 0, oracle, IEEE_MODES)
+        assert ok == rep.all_correct

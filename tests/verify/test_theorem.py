@@ -1,0 +1,49 @@
+"""The round-to-odd theorem holds on generated code for derived formats."""
+
+import pytest
+
+from repro.fp import FPFormat
+from repro.funcs import TINY_CONFIG
+from repro.verify.theorem import derived_formats, verify_derived_format, verify_theorem
+
+
+class TestDerivedFormats:
+    def test_tiny_family_derived(self):
+        # T8 = F(8,4) and T10 = F(10,4): level 1 covers F(9,4); level 0
+        # covers F(7,4) (k > |E|+1 = 5 -> k in {7}).
+        d0 = derived_formats(TINY_CONFIG, 0)
+        d1 = derived_formats(TINY_CONFIG, 1)
+        assert FPFormat(7, 4) in d0
+        assert d1 == [FPFormat(9, 4)]
+
+    def test_family_members_excluded(self):
+        for level in range(TINY_CONFIG.levels):
+            for fmt in derived_formats(TINY_CONFIG, level):
+                assert fmt not in TINY_CONFIG.formats
+
+
+class TestTheoremHolds:
+    @pytest.mark.parametrize("name", ["exp2", "log2", "sinh", "cospi"])
+    def test_derived_formats_correct(self, name, oracle, tiny_generated):
+        pipe, gen = tiny_generated(name)
+        reports = verify_theorem(pipe, gen, oracle)
+        assert reports, "no derived formats found"
+        for fmt_name, rep in reports.items():
+            assert rep.all_correct, (
+                name,
+                fmt_name,
+                rep.wrong,
+                rep.examples[:3],
+            )
+            assert rep.total_checks > 0
+
+    def test_single_format_entry(self, oracle, tiny_generated):
+        pipe, gen = tiny_generated("exp2")
+        rep = verify_derived_format(
+            pipe, gen, 1, FPFormat(9, 4), oracle
+        )
+        assert rep.all_correct
+        from repro.fp import count_finite
+
+        # Every finite pattern under all five IEEE modes.
+        assert rep.total_checks == count_finite(FPFormat(9, 4)) * 5
