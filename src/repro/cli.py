@@ -28,21 +28,43 @@ def _family_of(name: str):
         raise SystemExit(f"unknown family {name!r}; choose from {sorted(FAMILIES)}")
 
 
+def _open_cli_oracle(path):
+    import sqlite3
+
+    from .parallel import open_oracle
+
+    try:
+        return open_oracle(path)
+    except sqlite3.Error as e:
+        raise SystemExit(f"cannot open --oracle-cache {path!r}: {e}")
+
+
 def cmd_generate(args) -> int:
     """`generate`: produce and save progressive-polynomial artifacts."""
     from .core import generate_function
     from .libm.artifacts import save_generated
+    from .parallel import format_phase_report, resolve_jobs
 
     config = _family_of(args.family)
-    oracle = Oracle()
+    oracle = _open_cli_oracle(args.oracle_cache)
+    jobs = resolve_jobs(args.jobs)
     for fn in args.functions:
         pipe = make_pipeline(fn, config, oracle)
         gen = generate_function(
             pipe, max_terms=args.max_terms, seed=args.seed,
             progress=lambda m: print(f"  {m}", flush=True),
+            jobs=jobs,
         )
         path = save_generated(gen, args.out_dir)
         print(f"{fn}: {gen.num_pieces} piece(s), {gen.storage_bytes} bytes -> {path}")
+        if args.timings:
+            print(
+                format_phase_report(
+                    gen.stats.phase_seconds, gen.stats.wall_seconds
+                )
+            )
+        if getattr(oracle, "flush", None):
+            oracle.flush()
     return 0
 
 
@@ -52,17 +74,29 @@ def cmd_verify(args) -> int:
     from .fp import IEEE_MODES
     from .verify import verify_exhaustive
 
+    from .parallel import resolve_jobs
+
     config = _family_of(args.family)
-    oracle = Oracle()
+    oracle = _open_cli_oracle(args.oracle_cache)
+    jobs = resolve_jobs(args.jobs)
     wrong = 0
     for fn in args.functions:
         gen = load_generated(fn, config.name, args.dir)
         pipe = make_pipeline(fn, config, oracle)
         lib = GeneratedLibrary({fn: pipe}, {fn: gen}, label="rlibm-prog")
         for level, fmt in enumerate(config.formats):
-            rep = verify_exhaustive(lib, fn, fmt, level, oracle, IEEE_MODES)
+            rep = verify_exhaustive(
+                lib, fn, fmt, level, oracle, IEEE_MODES, jobs=jobs
+            )
             print(rep.summary())
+            if args.timings:
+                print(
+                    f"  wall {rep.wall_seconds:9.3f}s  "
+                    f"oracle {rep.oracle_seconds:9.3f}s  [{jobs} jobs]"
+                )
             wrong += rep.wrong
+        if getattr(oracle, "flush", None):
+            oracle.flush()
     return 0 if wrong == 0 else 1
 
 
@@ -124,18 +158,35 @@ def main(argv=None) -> int:
     ap = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = ap.add_subparsers(dest="command", required=True)
 
+    def add_parallel_flags(p):
+        p.add_argument(
+            "--jobs", type=int, default=1,
+            help="worker processes for the input sweeps (0 = all cores)",
+        )
+        p.add_argument(
+            "--oracle-cache", default=None, metavar="PATH",
+            help="persistent oracle result cache (sqlite file; created on"
+                 " first use, warm re-runs skip the Ziv loops)",
+        )
+        p.add_argument(
+            "--timings", action="store_true",
+            help="print the per-phase wall-clock breakdown",
+        )
+
     g = sub.add_parser("generate", help="generate progressive polynomials")
     g.add_argument("--family", default="mini")
     g.add_argument("--functions", nargs="*", default=list(FUNCTION_NAMES))
     g.add_argument("--max-terms", type=int, default=8)
     g.add_argument("--seed", type=int, default=0)
     g.add_argument("--out-dir", default=None)
+    add_parallel_flags(g)
     g.set_defaults(func=cmd_generate)
 
     v = sub.add_parser("verify", help="exhaustively verify artifacts")
     v.add_argument("--family", default="mini")
     v.add_argument("--functions", nargs="*", default=list(FUNCTION_NAMES))
     v.add_argument("--dir", default=None)
+    add_parallel_flags(v)
     v.set_defaults(func=cmd_verify)
 
     e = sub.add_parser("eval", help="evaluate a generated function")

@@ -11,6 +11,7 @@ every constraint in ``6 k log n`` iterations in expectation.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import List, Optional, Sequence
@@ -24,13 +25,16 @@ from .sampling import WeightState, weighted_sample_indices
 
 @dataclass
 class ClarksonStats:
-    """Per-run counters (iterations, lucky steps, LP solves)."""
+    """Per-run counters (iterations, lucky steps, LP solves) plus the
+    wall-clock split between exact LP solving and violation screening."""
 
     iterations: int = 0
     lucky_iterations: int = 0
     lp_solves: int = 0
     infeasible_samples: int = 0
     violation_history: List[int] = field(default_factory=list)
+    lp_seconds: float = 0.0
+    screen_seconds: float = 0.0
 
 
 @dataclass
@@ -103,7 +107,9 @@ def solve_constraints(
         )
         sample_rows = [system.rows[int(i)] for i in idx]
         stats.lp_solves += 1
+        t_lp = time.perf_counter()
         sol = solve_margin_lp(sample_rows, system.ncols)
+        stats.lp_seconds += time.perf_counter() - t_lp
         if sol is None:
             # The sample is a subset of the full multiset: an infeasible
             # sample *proves* the whole system infeasible.  By default we
@@ -121,9 +127,14 @@ def solve_constraints(
                 break
             continue
         consecutive_infeasible = 0
+        t_screen = time.perf_counter()
         violated = system.violations(sol.coefficients)
+        stats.screen_seconds += time.perf_counter() - t_screen
         stats.violation_history.append(len(violated))
-        if best_viol is None or len(violated) < len(best_viol):
+        if improves_best(
+            len(violated), sol.margin,
+            None if best_viol is None else len(best_viol), best_margin,
+        ):
             best, best_viol, best_margin = sol.coefficients, violated, sol.margin
         if len(violated) == 0:
             return ClarksonResult(sol.coefficients, violated, sol.margin, feasible, stats)
@@ -135,6 +146,23 @@ def solve_constraints(
     if best_viol is None:
         best_viol = np.arange(n)
     return ClarksonResult(best, best_viol, best_margin, feasible, stats)
+
+
+def improves_best(
+    nviol: int,
+    margin: Fraction,
+    best_nviol: Optional[int],
+    best_margin: Fraction,
+) -> bool:
+    """Whether a candidate near-solution beats the incumbent: fewer
+    violations always wins; on a violation-count tie the larger exact LP
+    margin wins, so the special-case fallback path is handed the most
+    robust near-solution (not merely the first one seen)."""
+    if best_nviol is None:
+        return True
+    if nviol != best_nviol:
+        return nviol < best_nviol
+    return margin > best_margin
 
 
 def _uniform_sample(n: int, size: int, rng: np.random.Generator) -> np.ndarray:

@@ -38,13 +38,20 @@ from .polynomial import ProgressivePolynomial
 
 @dataclass
 class GenerationStats:
-    """Bookkeeping for one generation run (Table-1/bench reporting)."""
+    """Bookkeeping for one generation run (Table-1/bench reporting).
+
+    ``phase_seconds`` is the wall-clock breakdown by phase (keys:
+    ``constraints``, ``oracle``, ``lp``, ``screen``, ``runtime-check``);
+    the ``oracle`` phase runs inside the others, so it is a share of the
+    wall rather than a disjoint slice."""
 
     wall_seconds: float = 0.0
     clarkson_iterations: int = 0
     lp_solves: int = 0
     constraints: int = 0
     configs_tried: int = 0
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    jobs: int = 1
 
 
 @dataclass
@@ -97,24 +104,48 @@ def collect_constraints(
     pipeline: "FunctionPipeline",
     inputs_per_level: Optional[Sequence[Sequence]] = None,
     progress=None,
+    jobs: int = 1,
+    timings: Optional["PhaseTimings"] = None,
 ) -> Tuple[List[ReducedConstraint], Dict[Tuple[int, float], float]]:
-    """Oracle + range reduction for every input of every family level."""
-    from ..funcs.base import merge_constraints
+    """Oracle + range reduction for every input of every family level.
 
-    outcomes = []
+    ``jobs > 1`` shards the enumeration across worker processes; the
+    outcome order (and therefore the merged constraint system) is
+    bit-identical to the serial sweep for any worker count.
+    """
+    from ..funcs.base import chunk_outcomes, merge_constraints
+    from ..parallel.timing import PhaseTimings
+
+    timings = timings if timings is not None else PhaseTimings()
+    jobs = max(1, int(jobs or 1))
     fam = pipeline.family
-    for level, fmt in enumerate(fam.formats):
-        inputs = (
-            inputs_per_level[level]
-            if inputs_per_level is not None
-            else all_finite(fmt)
+    t0 = time.perf_counter()
+    oracle_sec0 = pipeline.oracle.stats.seconds
+    worker_oracle_seconds = 0.0
+    if jobs > 1:
+        from ..parallel.pool import shard_outcomes
+
+        outcomes, worker_oracle_seconds = shard_outcomes(
+            pipeline, inputs_per_level, jobs=jobs, progress=progress
         )
-        for v in inputs:
-            out = pipeline.constraint_for(v, level)
-            if out is not None:
-                outcomes.append(out)
-        if progress:
-            progress(f"{pipeline.name}: level {level} ({fmt.display_name}) reduced")
+    else:
+        outcomes = []
+        for level, fmt in enumerate(fam.formats):
+            inputs = (
+                inputs_per_level[level]
+                if inputs_per_level is not None
+                else all_finite(fmt)
+            )
+            outcomes.extend(chunk_outcomes(pipeline, level, list(inputs)))
+            if progress:
+                progress(
+                    f"{pipeline.name}: level {level} ({fmt.display_name}) reduced"
+                )
+    timings.add("constraints", time.perf_counter() - t0)
+    timings.add(
+        "oracle",
+        (pipeline.oracle.stats.seconds - oracle_sec0) + worker_oracle_seconds,
+    )
     return merge_constraints(outcomes, pipeline.special_output)
 
 
@@ -127,12 +158,22 @@ def generate_function(
     max_iterations: int = 48,
     seed: int = 0,
     progress=None,
+    jobs: int = 1,
+    timings: Optional["PhaseTimings"] = None,
 ) -> GeneratedFunction:
-    """End-to-end generation of one function's progressive polynomials."""
+    """End-to-end generation of one function's progressive polynomials.
+
+    ``jobs`` shards the constraint sweep across processes (1 = fully
+    in-process); results are bit-identical for any worker count.
+    """
+    from ..parallel.timing import PhaseTimings
+
     t0 = time.perf_counter()
+    timings = timings if timings is not None else PhaseTimings()
     stats = GenerationStats()
+    stats.jobs = max(1, int(jobs or 1))
     constraints, forced_specials = collect_constraints(
-        pipeline, inputs_per_level, progress
+        pipeline, inputs_per_level, progress, jobs=jobs, timings=timings
     )
     stats.constraints = len(constraints)
     rng = np.random.default_rng(seed)
@@ -148,7 +189,7 @@ def generate_function(
         for pi, piece_cons in enumerate(pieces_constraints):
             result = _search_piece(
                 pipeline, piece_cons, max_terms, max_iterations, rng, stats,
-                max_specials, power_cache,
+                max_specials, power_cache, timings,
             )
             if result is None:
                 ok = False
@@ -170,14 +211,23 @@ def generate_function(
                 dict(forced_specials),
                 stats,
             )
+            oracle_sec0 = pipeline.oracle.stats.seconds
             try:
-                _absorb_runtime_failures(pipeline, gen, constraints, budget_specials)
+                with timings.phase("runtime-check"):
+                    _absorb_runtime_failures(
+                        pipeline, gen, constraints, budget_specials
+                    )
             except GenerationError:
                 if nsplits >= max_subdomains:
                     raise
             else:
+                timings.add(
+                    "oracle", pipeline.oracle.stats.seconds - oracle_sec0
+                )
                 stats.wall_seconds = time.perf_counter() - t0
+                stats.phase_seconds = timings.as_dict()
                 return gen
+            timings.add("oracle", pipeline.oracle.stats.seconds - oracle_sec0)
         nsplits *= 2
         if progress:
             progress(f"{pipeline.name}: splitting into {nsplits} sub-domains")
@@ -219,6 +269,7 @@ def _try_config(
     rng: np.random.Generator,
     stats: GenerationStats,
     power_cache: Optional[dict] = None,
+    timings=None,
 ) -> ClarksonResult:
     term_counts = _term_vector(pipeline, counts_per_level)
     shapes = pipeline.shapes(term_counts[-1])
@@ -229,6 +280,9 @@ def _try_config(
     stats.configs_tried += 1
     stats.clarkson_iterations += res.stats.iterations
     stats.lp_solves += res.stats.lp_solves
+    if timings is not None:
+        timings.add("lp", res.stats.lp_seconds)
+        timings.add("screen", res.stats.screen_seconds)
     return res
 
 
@@ -241,6 +295,7 @@ def _search_piece(
     stats: GenerationStats,
     max_specials: int,
     power_cache: Optional[dict] = None,
+    timings=None,
 ) -> Optional[Tuple[ProgressivePolynomial, List[ReducedConstraint]]]:
     power_cache = power_cache if power_cache is not None else {}
     levels = pipeline.family.levels
@@ -251,7 +306,7 @@ def _search_piece(
     for k1 in range(min_k, max_terms + 1):
         res = _try_config(
             pipeline, constraints, [k1] * levels, max_iterations, rng, stats,
-            power_cache,
+            power_cache, timings,
         )
         if res.coefficients is not None and len(res.violations) <= max_specials:
             first = (k1, res)
@@ -267,19 +322,19 @@ def _search_piece(
     k1_min, res0 = first
     counts, res = _shrink_lower_levels(
         pipeline, constraints, [k1_min] * levels, res0, max_iterations, rng,
-        stats, min_k, power_cache,
+        stats, min_k, power_cache, timings,
     )
     if counts[0] == counts[-1] and k1_min + 1 <= max_terms:
         res_alt = _try_config(
             pipeline, constraints, [k1_min + 1] * levels, max_iterations, rng,
-            stats, power_cache,
+            stats, power_cache, timings,
         )
         if res_alt.coefficients is not None and len(res_alt.violations) <= len(
             res.violations
         ):
             counts_alt, res_alt = _shrink_lower_levels(
                 pipeline, constraints, [k1_min + 1] * levels, res_alt,
-                max_iterations, rng, stats, min_k, power_cache,
+                max_iterations, rng, stats, min_k, power_cache, timings,
             )
             # Adopt the longer polynomial only if it buys real
             # progressiveness for the smaller formats.
@@ -316,6 +371,7 @@ def _shrink_lower_levels(
     stats: GenerationStats,
     min_k: int,
     power_cache: Optional[dict] = None,
+    timings=None,
 ) -> Tuple[List[int], ClarksonResult]:
     """Greedily reduce lower-level term counts, keeping k_0 <= ... <= k1."""
     levels = len(counts)
@@ -328,7 +384,7 @@ def _shrink_lower_levels(
                 break
             tres = _try_config(
                 pipeline, constraints, trial, max_iterations, rng, stats,
-                power_cache,
+                power_cache, timings,
             )
             if tres.coefficients is None or len(tres.violations) > len(res.violations):
                 break

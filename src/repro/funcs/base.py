@@ -261,6 +261,23 @@ def _pull_back(interval: Interval, red: Reduction) -> Optional[Interval]:
     return Interval(plo, phi)
 
 
+def chunk_outcomes(
+    pipeline: FunctionPipeline, level: int, values: Sequence[FPValue]
+) -> List[GenOutcome]:
+    """Generation outcomes for a batch of same-level inputs, in order.
+
+    The unit of work shared by the serial sweep and the pool workers:
+    both produce the exact same outcome sequence for the same inputs, so
+    sharded runs merge bit-identically.
+    """
+    out: List[GenOutcome] = []
+    for v in values:
+        o = pipeline.constraint_for(v, level)
+        if o is not None:
+            out.append(o)
+    return out
+
+
 def merge_constraints(
     outcomes: Sequence[GenOutcome],
     special_output,

@@ -47,6 +47,8 @@ def generated_to_dict(gen: GeneratedFunction) -> dict:
             "lp_solves": gen.stats.lp_solves,
             "constraints": gen.stats.constraints,
             "configs_tried": gen.stats.configs_tried,
+            "phase_seconds": dict(gen.stats.phase_seconds),
+            "jobs": gen.stats.jobs,
         },
     }
 

@@ -12,13 +12,35 @@ terminates).
 from __future__ import annotations
 
 import math
+import time
+from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 from ..fp.encode import FPValue
 from ..fp.format import FPFormat
 from ..fp.rounding import RoundingMode, round_real
 from . import consts, functions
+
+
+@dataclass
+class OracleStats:
+    """Per-oracle counters feeding the phase-timing breakdowns: how much
+    wall-clock the Ziv loops cost and how often caches absorbed a call."""
+
+    calls: int = 0
+    computes: int = 0
+    memo_hits: int = 0
+    disk_hits: int = 0
+    seconds: float = 0.0
+
+    def merge(self, other: "OracleStats") -> None:
+        """Fold another oracle's counters (e.g. a pool worker's) into this."""
+        self.calls += other.calls
+        self.computes += other.computes
+        self.memo_hits += other.memo_hits
+        self.disk_hits += other.disk_hits
+        self.seconds += other.seconds
 
 
 class OraclePrecisionError(RuntimeError):
@@ -50,8 +72,15 @@ def exact_value(fn: str, x: Fraction) -> Optional[Fraction]:
         return None
     if fn == "log10":
         if x >= 1 and x.denominator == 1:
-            k = round(math.log10(x.numerator)) if x.numerator > 1 else 0
-            if Fraction(10) ** k == x:
+            # Exact integer power-of-ten check, no floats and no int->str
+            # (a float log10 guess overflows past ~1e308, reachable with
+            # wide custom formats, and CPython caps str() at 4300 digits):
+            # divide tens out and see whether 1 remains.
+            n, k = x.numerator, 0
+            while n % 10 == 0:
+                n //= 10
+                k += 1
+            if n == 1 and k > 0 or x == 1:
                 return Fraction(k)
         return None
     if fn == "sinh":
@@ -120,6 +149,7 @@ class Oracle:
             Tuple[str, Fraction, FPFormat, RoundingMode], FPValue
         ] = {}
         self._cache_rounded = cache_rounded
+        self.stats = OracleStats()
 
     # ------------------------------------------------------------------
     def enclosure(self, fn: str, x: Fraction, prec: int):
@@ -139,16 +169,33 @@ class Oracle:
     ) -> FPValue:
         """round(f(x), fmt, mode), guaranteed correct."""
         key = (fn, x, fmt, mode)
+        self.stats.calls += 1
         if self._cache_rounded:
             got = self._rounded_cache.get(key)
             if got is not None:
+                self.stats.memo_hits += 1
                 return got
+        t0 = time.perf_counter()
         result = self._compute(fn, x, fmt, mode)
+        self.stats.seconds += time.perf_counter() - t0
         if self._cache_rounded:
             self._rounded_cache[key] = result
         return result
 
+    def absorb(
+        self,
+        items: Iterable[
+            Tuple[Tuple[str, Fraction, FPFormat, RoundingMode], FPValue]
+        ],
+    ) -> None:
+        """Seed the in-memory memo with results resolved elsewhere (pool
+        workers ship theirs back so e.g. the post-LP runtime re-check does
+        not redo the Ziv loops the workers already ran)."""
+        if self._cache_rounded:
+            self._rounded_cache.update(items)
+
     def _compute(self, fn: str, x: Fraction, fmt: FPFormat, mode: RoundingMode) -> FPValue:
+        self.stats.computes += 1
         exact = exact_value(fn, x)
         if exact is not None:
             return round_real(exact, fmt, mode)
@@ -220,6 +267,17 @@ class Oracle:
         every mode's decision is read off the same interval.
         """
         modes = tuple(modes) if modes is not None else tuple(RoundingMode)
+        self.stats.calls += 1
+        self.stats.computes += 1
+        t0 = time.perf_counter()
+        try:
+            return self._compute_all(fn, x, fmt, modes)
+        finally:
+            self.stats.seconds += time.perf_counter() - t0
+
+    def _compute_all(
+        self, fn: str, x: Fraction, fmt: FPFormat, modes: Tuple[RoundingMode, ...]
+    ) -> Dict[RoundingMode, FPValue]:
         exact = exact_value(fn, x)
         if exact is not None:
             return {m: round_real(exact, fmt, m) for m in modes}

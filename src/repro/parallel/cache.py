@@ -1,0 +1,276 @@
+"""Persistent on-disk oracle cache layered under the Ziv oracle.
+
+The cache is a single sqlite table keyed by ``(fn, x, format, mode)``:
+
+* ``fn`` — function name from the oracle registry;
+* ``x`` — the exact rational input, spelled ``numerator/denominator``
+  (every FP input is dyadic, but the spelling is fully general and avoids
+  any dependence on binary64 representability for wide custom formats);
+* format — ``total_bits:exponent_bits`` (the two fields that define an
+  :class:`FPFormat`'s value semantics; the cosmetic name is excluded,
+  matching ``FPFormat.__eq__``);
+* ``mode`` — the :class:`RoundingMode` value string.
+
+The stored value is the result's bit pattern as a decimal string (bit
+patterns of wide formats exceed 64 bits, so TEXT rather than INTEGER).
+``FPValue`` round-trips exactly through ``(fmt, bits)`` — signed zeros,
+subnormals and NaN payloads included.
+
+Warm re-runs of a search skip the Ziv loops entirely: a fresh process
+pointing at the same cache file resolves every previously seen
+``correctly_rounded`` query with a point lookup.  Pool workers open the
+cache read-only and ship the entries they resolve back to the parent,
+which both seeds its in-memory memo (so the post-LP runtime re-check is
+warm) and flushes the new rows to disk in one transaction.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..fp.encode import FPValue
+from ..fp.format import FPFormat
+from ..fp.rounding import RoundingMode
+from ..mp.oracle import Oracle
+
+#: Wire format of one cache entry, picklable across process boundaries:
+#: (fn, numerator, denominator, total_bits, exponent_bits, mode value, bits).
+RawEntry = Tuple[str, int, int, int, int, str, int]
+
+
+def make_key(fn: str, x: Fraction, fmt: FPFormat, mode: RoundingMode) -> str:
+    """The sqlite primary-key spelling of one oracle query."""
+    return (
+        f"{fn}|{x.numerator}/{x.denominator}"
+        f"|{fmt.total_bits}:{fmt.exponent_bits}|{mode.value}"
+    )
+
+
+def raw_entry(
+    fn: str, x: Fraction, fmt: FPFormat, mode: RoundingMode, result: FPValue
+) -> RawEntry:
+    """Encode one resolved query as a picklable tuple."""
+    return (
+        fn, x.numerator, x.denominator,
+        fmt.total_bits, fmt.exponent_bits, mode.value, result.bits,
+    )
+
+
+def decode_raw_entry(
+    entry: RawEntry,
+) -> Tuple[Tuple[str, Fraction, FPFormat, RoundingMode], FPValue]:
+    """Inverse of :func:`raw_entry`: the memo key and its FPValue."""
+    fn, num, den, total, ebits, mode, bits = entry
+    fmt = FPFormat(total, ebits)
+    return (fn, Fraction(num, den), fmt, RoundingMode(mode)), FPValue(fmt, bits)
+
+
+class OracleCache:
+    """Append-only persistent store of correctly rounded oracle results."""
+
+    _FLUSH_EVERY = 4096
+
+    def __init__(self, path: str, read_only: bool = False):
+        self.path = str(path)
+        self.read_only = read_only
+        # A generous busy timeout: several pool workers may open (and, on
+        # first use, create) the same file at once.
+        self._conn = sqlite3.connect(self.path, timeout=30.0)
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS oracle"
+            " (key TEXT PRIMARY KEY, bits TEXT NOT NULL)"
+        )
+        if not read_only:
+            # WAL lets concurrent worker readers proceed while the parent
+            # flushes; harmless (and persistent) on a fresh file.
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.commit()
+        self._pending: Dict[str, str] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def get(
+        self, fn: str, x: Fraction, fmt: FPFormat, mode: RoundingMode
+    ) -> Optional[FPValue]:
+        """The cached result for one query, or None."""
+        key = make_key(fn, x, fmt, mode)
+        got = self._pending.get(key)
+        if got is None:
+            row = self._conn.execute(
+                "SELECT bits FROM oracle WHERE key = ?", (key,)
+            ).fetchone()
+            got = row[0] if row else None
+        if got is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return FPValue(fmt, int(got))
+
+    def put(
+        self, fn: str, x: Fraction, fmt: FPFormat, mode: RoundingMode,
+        result: FPValue,
+    ) -> None:
+        """Queue one result for persistence (no-op when read-only)."""
+        if self.read_only:
+            return
+        self._pending[make_key(fn, x, fmt, mode)] = str(result.bits)
+        if len(self._pending) >= self._FLUSH_EVERY:
+            self.flush()
+
+    def put_raw(self, entries: Iterable[RawEntry]) -> None:
+        """Queue wire-format entries (what pool workers ship back)."""
+        if self.read_only:
+            return
+        for fn, num, den, total, ebits, mode, bits in entries:
+            key = (
+                f"{fn}|{num}/{den}|{total}:{ebits}|{mode}"
+            )
+            self._pending[key] = str(bits)
+        if len(self._pending) >= self._FLUSH_EVERY:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write queued entries to disk in one transaction."""
+        if not self._pending:
+            return
+        self._conn.executemany(
+            "INSERT OR IGNORE INTO oracle (key, bits) VALUES (?, ?)",
+            list(self._pending.items()),
+        )
+        self._conn.commit()
+        self._pending.clear()
+
+    def __len__(self) -> int:
+        return (
+            self._conn.execute("SELECT COUNT(*) FROM oracle").fetchone()[0]
+            + len(self._pending)
+        )
+
+    def close(self) -> None:
+        """Flush and release the sqlite handle."""
+        if not self.read_only:
+            self.flush()
+        self._conn.close()
+
+    def __enter__(self) -> "OracleCache":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class CachedOracle(Oracle):
+    """An :class:`Oracle` with a persistent disk layer under the memo.
+
+    Lookup order: in-memory memo (inherited) -> disk cache -> Ziv compute.
+    With ``record_new=True`` every result resolved below the memo (disk
+    hits included) is also queued as a wire-format entry; pool workers
+    drain those per chunk and ship them to the parent, whose own oracle
+    absorbs them into its memo and persists them.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[OracleCache] = None,
+        max_prec: int = 1 << 15,
+        cache_rounded: bool = True,
+        record_new: bool = False,
+    ):
+        super().__init__(max_prec=max_prec, cache_rounded=cache_rounded)
+        self.cache = cache
+        self.record_new = record_new
+        self._new: List[RawEntry] = []
+
+    # ------------------------------------------------------------------
+    def _compute(self, fn, x, fmt, mode):
+        if self.cache is not None:
+            got = self.cache.get(fn, x, fmt, mode)
+            if got is not None:
+                self.stats.disk_hits += 1
+                self._record(fn, x, fmt, mode, got)
+                return got
+        result = super()._compute(fn, x, fmt, mode)
+        if self.cache is not None:
+            self.cache.put(fn, x, fmt, mode, result)
+        self._record(fn, x, fmt, mode, result)
+        return result
+
+    def _compute_all(self, fn, x, fmt, modes):
+        if self.cache is not None:
+            out = {}
+            for m in modes:
+                got = self.cache.get(fn, x, fmt, m)
+                if got is None:
+                    break
+                out[m] = got
+            else:
+                self.stats.disk_hits += 1
+                self.stats.computes -= 1  # charged by the caller; undo
+                for m, v in out.items():
+                    self._record(fn, x, fmt, m, v)
+                return out
+        result = super()._compute_all(fn, x, fmt, modes)
+        for m, v in result.items():
+            if self.cache is not None:
+                self.cache.put(fn, x, fmt, m, v)
+            self._record(fn, x, fmt, m, v)
+        return result
+
+    def _record(self, fn, x, fmt, mode, result) -> None:
+        if self.record_new:
+            self._new.append(raw_entry(fn, x, fmt, mode, result))
+
+    def drain_new(self) -> List[RawEntry]:
+        """Entries resolved since the last drain (workers ship these)."""
+        out, self._new = self._new, []
+        return out
+
+    def absorb(self, items) -> None:
+        """Seed the memo *and* persist (overrides the memo-only parent)."""
+        items = list(items)
+        super().absorb(items)
+        if self.cache is not None:
+            for (fn, x, fmt, mode), v in items:
+                self.cache.put(fn, x, fmt, mode, v)
+
+    def flush(self) -> None:
+        """Flush the persistent layer, if any."""
+        if self.cache is not None:
+            self.cache.flush()
+
+    def close(self) -> None:
+        """Flush and close the persistent layer, if any."""
+        if self.cache is not None:
+            self.cache.close()
+
+
+def open_oracle(
+    cache_path: Optional[str],
+    max_prec: int = 1 << 15,
+    read_only: bool = False,
+    record_new: bool = False,
+) -> Oracle:
+    """An oracle backed by ``cache_path`` when given, else a plain one."""
+    if cache_path is None:
+        if record_new:
+            return CachedOracle(None, max_prec=max_prec, record_new=True)
+        return Oracle(max_prec=max_prec)
+    return CachedOracle(
+        OracleCache(cache_path, read_only=read_only),
+        max_prec=max_prec,
+        record_new=record_new,
+    )
+
+
+def persistent_cache_path(oracle: Oracle) -> Optional[str]:
+    """The disk path behind an oracle, when it has one (for workers)."""
+    cache = getattr(oracle, "cache", None)
+    return cache.path if cache is not None else None
+
+
+def absorb_entries(oracle: Oracle, entries: Iterable[RawEntry]) -> None:
+    """Fold worker wire-format entries into a parent oracle."""
+    oracle.absorb(decode_raw_entry(e) for e in entries)

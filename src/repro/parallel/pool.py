@@ -1,0 +1,258 @@
+"""Multi-core sharding of the two embarrassingly parallel hot loops.
+
+Both constraint generation (one oracle Ziv evaluation per input per
+level) and exhaustive verification (one runtime-vs-oracle comparison per
+input per mode) iterate a pure function over an enumerable input space.
+This module shards those enumerations across ``multiprocessing`` workers
+in fixed-size chunks of *bit patterns* (tiny pickles), with:
+
+* **deterministic merge order** — chunks are emitted level-by-level in
+  enumeration order and results are consumed with ``imap`` (order
+  preserving), so the merged outcome/report sequence is byte-identical to
+  the serial sweep for any worker count;
+* **spawn-safety** — workers are initialized by module-level functions
+  from picklable specs (function name, family, artifact, cache path);
+  no closures or lambdas cross the process boundary;
+* **oracle result shipping** — each worker runs its own
+  :class:`CachedOracle` (reading the shared persistent cache read-only)
+  and returns the entries it resolved; the parent absorbs them into its
+  memo and persists them, so downstream phases and warm re-runs skip the
+  Ziv loops.
+
+``jobs=1`` callers never reach this module: the serial code path runs
+unchanged in-process with zero pickling overhead.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from multiprocessing import get_all_start_methods, get_context
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..fp.encode import FPValue
+from ..fp.enumerate import all_finite
+from ..fp.rounding import RoundingMode
+from .cache import absorb_entries, open_oracle, persistent_cache_path
+
+#: Per-process worker state, populated by the pool initializers.
+_STATE: dict = {}
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Worker count: ``None``/``0`` means every core."""
+    if not jobs:
+        return os.cpu_count() or 1
+    return max(1, int(jobs))
+
+
+def start_method() -> str:
+    """The multiprocessing start method: ``REPRO_MP_START`` env override,
+    else fork where available (cheap) falling back to spawn.  All worker
+    entry points are module-level and spawn-safe either way."""
+    methods = get_all_start_methods()
+    want = os.environ.get("REPRO_MP_START")
+    if want and want in methods:
+        return want
+    return "fork" if "fork" in methods else "spawn"
+
+
+def _chunks(bits: Sequence[int], size: int) -> List[List[int]]:
+    return [list(bits[i: i + size]) for i in range(0, len(bits), size)]
+
+
+def _chunk_size(total: int, jobs: int) -> int:
+    """Roughly 8 chunks per worker, bounded away from tiny tasks."""
+    return max(256, total // max(1, jobs * 8) + 1)
+
+
+def _worker_oracle_delta() -> float:
+    """Seconds this worker's oracle spent since the last chunk."""
+    oracle = _STATE["oracle"]
+    delta = oracle.stats.seconds - _STATE["oracle_sec0"]
+    _STATE["oracle_sec0"] = oracle.stats.seconds
+    return delta
+
+
+# ----------------------------------------------------------------------
+# Constraint generation
+# ----------------------------------------------------------------------
+def _init_gen_worker(fn_name, family, cache_path, max_prec) -> None:
+    from ..funcs import make_pipeline
+
+    oracle = open_oracle(
+        cache_path, max_prec=max_prec, read_only=True, record_new=True
+    )
+    _STATE.clear()
+    _STATE["oracle"] = oracle
+    _STATE["oracle_sec0"] = 0.0
+    _STATE["pipeline"] = make_pipeline(fn_name, family, oracle)
+
+
+def _gen_chunk(task):
+    from ..funcs.base import chunk_outcomes
+
+    level, bits = task
+    pipeline = _STATE["pipeline"]
+    fmt = pipeline.family.formats[level]
+    outcomes = chunk_outcomes(
+        pipeline, level, [FPValue(fmt, b) for b in bits]
+    )
+    return outcomes, _STATE["oracle"].drain_new(), _worker_oracle_delta()
+
+
+def shard_outcomes(
+    pipeline,
+    inputs_per_level=None,
+    jobs: int = 2,
+    progress=None,
+) -> Tuple[list, float]:
+    """Constraint-generation outcomes for every input of every level,
+    computed across ``jobs`` workers in serial enumeration order.
+
+    Returns ``(outcomes, worker_oracle_seconds)``; the parent pipeline's
+    oracle is seeded with every result the workers resolved.
+    """
+    fam = pipeline.family
+    tasks: List[Tuple[int, List[int]]] = []
+    level_end: List[int] = []
+    total = 0
+    for level, fmt in enumerate(fam.formats):
+        inputs = (
+            inputs_per_level[level]
+            if inputs_per_level is not None
+            else all_finite(fmt)
+        )
+        bits = [v.bits for v in inputs]
+        total += len(bits)
+        for chunk in _chunks(bits, _chunk_size(len(bits), jobs)):
+            tasks.append((level, chunk))
+        level_end.append(len(tasks))
+
+    ctx = get_context(start_method())
+    outcomes: list = []
+    oracle_seconds = 0.0
+    with ctx.Pool(
+        processes=jobs,
+        initializer=_init_gen_worker,
+        initargs=(
+            pipeline.name, fam,
+            persistent_cache_path(pipeline.oracle),
+            pipeline.oracle.max_prec,
+        ),
+    ) as pool:
+        done_levels = 0
+        for i, (chunk_out, entries, secs) in enumerate(
+            pool.imap(_gen_chunk, tasks, chunksize=1)
+        ):
+            outcomes.extend(chunk_out)
+            absorb_entries(pipeline.oracle, entries)
+            oracle_seconds += secs
+            while done_levels < len(level_end) and i + 1 == level_end[done_levels]:
+                if progress:
+                    fmt = fam.formats[done_levels]
+                    progress(
+                        f"{pipeline.name}: level {done_levels}"
+                        f" ({fmt.display_name}) reduced [{jobs} jobs]"
+                    )
+                done_levels += 1
+    return outcomes, oracle_seconds
+
+
+# ----------------------------------------------------------------------
+# Exhaustive verification
+# ----------------------------------------------------------------------
+def _init_verify_worker(spec, cache_path, max_prec) -> None:
+    library, fn, fmt, level, modes, canonical_zeros, max_recorded = spec
+    oracle = open_oracle(
+        cache_path, max_prec=max_prec, read_only=True, record_new=True
+    )
+    _STATE.clear()
+    _STATE["oracle"] = oracle
+    _STATE["oracle_sec0"] = 0.0
+    _STATE["verify"] = (
+        library, fn, fmt, level, modes, canonical_zeros, max_recorded
+    )
+
+
+def _verify_chunk(bits):
+    from ..verify.exhaustive import verify_exhaustive
+
+    library, fn, fmt, level, modes, canonical_zeros, max_recorded = _STATE[
+        "verify"
+    ]
+    report = verify_exhaustive(
+        library, fn, fmt, level, _STATE["oracle"], modes,
+        inputs=[FPValue(fmt, b) for b in bits],
+        canonical_zeros=canonical_zeros,
+        max_recorded_failures=max_recorded,
+    )
+    failures = [
+        (f.input_bits, f.mode.value, f.got_bits, f.want_bits)
+        for f in report.failures
+    ]
+    by_mode = {m.value: n for m, n in report.by_mode.items()}
+    return (
+        report.total_checks, report.wrong, by_mode, failures,
+        _STATE["oracle"].drain_new(), _worker_oracle_delta(),
+    )
+
+
+def shard_verify(
+    library,
+    fn: str,
+    fmt,
+    level: int,
+    oracle,
+    modes,
+    inputs=None,
+    canonical_zeros: bool = True,
+    max_recorded_failures: int = 32,
+    jobs: int = 2,
+):
+    """Shard one exhaustive sweep across workers and merge the reports.
+
+    Merging is deterministic: counters add, per-chunk failure lists (each
+    already the chunk's first failures in enumeration order) concatenate
+    in chunk order and truncate to ``max_recorded_failures`` — exactly
+    the serial report.
+    """
+    from ..verify.exhaustive import Failure, VerificationReport
+
+    bits = [
+        v.bits for v in (inputs if inputs is not None else all_finite(fmt))
+    ]
+    tasks = _chunks(bits, _chunk_size(len(bits), jobs))
+    modes = tuple(modes)
+    report = VerificationReport(library.label, fn, fmt)
+    report.by_mode = {m: 0 for m in modes}
+    t0 = time.perf_counter()
+    ctx = get_context(start_method())
+    with ctx.Pool(
+        processes=jobs,
+        initializer=_init_verify_worker,
+        initargs=(
+            (
+                library, fn, fmt, level, modes,
+                canonical_zeros, max_recorded_failures,
+            ),
+            persistent_cache_path(oracle),
+            oracle.max_prec,
+        ),
+    ) as pool:
+        for total, wrong, by_mode, failures, entries, secs in pool.imap(
+            _verify_chunk, tasks, chunksize=1
+        ):
+            report.total_checks += total
+            report.wrong += wrong
+            for mode_value, n in by_mode.items():
+                report.by_mode[RoundingMode(mode_value)] += n
+            for input_bits, mode_value, got, want in failures:
+                if len(report.failures) < max_recorded_failures:
+                    report.failures.append(
+                        Failure(input_bits, RoundingMode(mode_value), got, want)
+                    )
+            absorb_entries(oracle, entries)
+            report.oracle_seconds += secs
+    report.wall_seconds = time.perf_counter() - t0
+    return report

@@ -8,6 +8,7 @@ carry no numeric information)."""
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -39,6 +40,10 @@ class VerificationReport:
     wrong: int = 0
     failures: List[Failure] = field(default_factory=list)
     by_mode: Dict[RoundingMode, int] = field(default_factory=dict)
+    #: Sweep wall-clock and the share of it the oracle's Ziv loops took
+    #: (summed across workers for sharded sweeps).
+    wall_seconds: float = 0.0
+    oracle_seconds: float = 0.0
 
     @property
     def all_correct(self) -> bool:
@@ -64,8 +69,23 @@ def verify_exhaustive(
     inputs: Optional[Iterable[FPValue]] = None,
     canonical_zeros: bool = True,
     max_recorded_failures: int = 32,
+    jobs: int = 1,
 ) -> VerificationReport:
-    """Check ``library``'s ``fn`` on every input of ``fmt`` for ``modes``."""
+    """Check ``library``'s ``fn`` on every input of ``fmt`` for ``modes``.
+
+    ``jobs > 1`` shards the sweep across worker processes; the merged
+    report (counters, per-mode counts, recorded failures) is identical
+    to the serial one for any worker count.
+    """
+    if jobs and jobs > 1:
+        from ..parallel.pool import shard_verify
+
+        return shard_verify(
+            library, fn, fmt, level, oracle, modes, inputs,
+            canonical_zeros, max_recorded_failures, jobs=jobs,
+        )
+    t0 = time.perf_counter()
+    oracle_sec0 = oracle.stats.seconds
     report = VerificationReport(library.label, fn, fmt)
     report.by_mode = {m: 0 for m in modes}
     inputs = inputs if inputs is not None else all_finite(fmt)
@@ -97,6 +117,8 @@ def verify_exhaustive(
                 report.failures.append(
                     Failure(v.bits, mode, got.bits, want[mode].bits)
                 )
+    report.wall_seconds = time.perf_counter() - t0
+    report.oracle_seconds = oracle.stats.seconds - oracle_sec0
     return report
 
 
@@ -128,6 +150,7 @@ def verify_matrix(
     oracle: Oracle,
     modes: Sequence[RoundingMode] = IEEE_MODES,
     inputs_per_level: Optional[Sequence] = None,
+    jobs: int = 1,
 ) -> Dict[Tuple[str, str], VerificationReport]:
     """Every (library, family format) combination for one function."""
     out = {}
@@ -137,7 +160,7 @@ def verify_matrix(
         )
         for lib in libraries:
             rep = verify_exhaustive(
-                lib, fn, fmt, level, oracle, modes, inputs
+                lib, fn, fmt, level, oracle, modes, inputs, jobs=jobs
             )
             out[(lib.label, fmt.display_name)] = rep
     return out

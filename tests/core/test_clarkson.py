@@ -109,6 +109,20 @@ class TestSolveConstraints:
         assert len(st.violation_history) == st.iterations
         assert st.lucky_iterations <= st.iterations
 
+    def test_incumbent_tiebreak_prefers_margin(self):
+        from repro.core.clarkson import improves_best
+
+        # First candidate always wins.
+        assert improves_best(3, F(1, 10), None, F(0))
+        # Fewer violations beat more, margin notwithstanding.
+        assert improves_best(2, F(1, 100), 3, F(1))
+        assert not improves_best(4, F(1), 3, F(1, 100))
+        # On a violation-count tie, the larger exact margin wins: it is
+        # the more robust near-feasible solution to keep.
+        assert improves_best(3, F(1, 2), 3, F(1, 4))
+        assert not improves_best(3, F(1, 4), 3, F(1, 2))
+        assert not improves_best(3, F(1, 4), 3, F(1, 4))  # strict
+
     def test_sample_size_default(self):
         assert default_sample_size(4) == 96
         assert default_sample_size(7) == 294

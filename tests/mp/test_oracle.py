@@ -47,6 +47,17 @@ class TestExactValues:
         assert exact_value("log10", Fraction(999)) is None
         assert exact_value("log10", Fraction(1, 2)) is None
 
+    def test_log10_huge_powers_exact_integer_check(self):
+        # The power-of-ten test is pure integer arithmetic: no float
+        # round-trip, so it stays exact far beyond binary64's range and
+        # rejects near-misses of astronomically large powers.
+        assert exact_value("log10", Fraction(10) ** 400) == 400
+        assert exact_value("log10", Fraction(10) ** 5000) == 5000
+        assert exact_value("log10", Fraction(10**400 + 1)) is None
+        assert exact_value("log10", Fraction(10**400 - 1)) is None
+        # Non-integer rationals (including exact tenths) stay inexact.
+        assert exact_value("log10", Fraction(1, 10)) is None
+
     def test_hyperbolic(self):
         assert exact_value("sinh", Fraction(0)) == 0
         assert exact_value("cosh", Fraction(0)) == 1

@@ -1,0 +1,155 @@
+"""The persistent oracle cache: exact round trips and warm-run behavior."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.fp import FPValue, RoundingMode, T8, T10
+from repro.fp.rounding import IEEE_MODES
+from repro.mp import Oracle
+from repro.parallel import CachedOracle, OracleCache, absorb_entries, open_oracle
+from repro.parallel.cache import decode_raw_entry, make_key, raw_entry
+
+F = Fraction
+
+
+@pytest.fixture
+def cache_path(tmp_path):
+    return str(tmp_path / "oracle.sqlite")
+
+
+class TestOracleCache:
+    def test_round_trips_every_bit_pattern(self, cache_path):
+        """Every T8 bit pattern — signed zeros, subnormals, extremes —
+        comes back with identical bits."""
+        with OracleCache(cache_path) as cache:
+            for bits in range(1 << T8.total_bits):
+                v = FPValue(T8, bits)
+                if v.is_nan:
+                    continue
+                cache.put("exp2", F(bits, 7), T8, RoundingMode.RNE, v)
+            cache.flush()
+        with OracleCache(cache_path, read_only=True) as cache:
+            for bits in range(1 << T8.total_bits):
+                v = FPValue(T8, bits)
+                if v.is_nan:
+                    continue
+                got = cache.get("exp2", F(bits, 7), T8, RoundingMode.RNE)
+                assert got is not None
+                assert got.bits == bits
+                assert got.fmt == T8
+
+    def test_signed_zero_distinct(self, cache_path):
+        pos = FPValue(T8, 0)
+        neg = FPValue(T8, T8.sign_mask)
+        assert pos.value == neg.value == 0
+        with OracleCache(cache_path) as cache:
+            cache.put("sinpi", F(1), T8, RoundingMode.RNE, pos)
+            cache.put("sinpi", F(-1), T8, RoundingMode.RNE, neg)
+            assert cache.get("sinpi", F(1), T8, RoundingMode.RNE).bits == 0
+            got = cache.get("sinpi", F(-1), T8, RoundingMode.RNE)
+            assert got.bits == T8.sign_mask
+            assert str(got.value) == "0"  # value-equal, bit-distinct
+
+    def test_key_separates_format_mode_and_input(self, cache_path):
+        """Distinct (fn, x, fmt, mode) never collide."""
+        keys = {
+            make_key("ln", F(1, 3), T8, RoundingMode.RNE),
+            make_key("ln", F(1, 3), T10, RoundingMode.RNE),
+            make_key("ln", F(1, 3), T8, RoundingMode.RTO),
+            make_key("ln", F(2, 3), T8, RoundingMode.RNE),
+            make_key("log2", F(1, 3), T8, RoundingMode.RNE),
+        }
+        assert len(keys) == 5
+
+    def test_read_only_never_writes(self, cache_path):
+        with OracleCache(cache_path) as cache:
+            cache.put("ln", F(1), T8, RoundingMode.RNE, FPValue(T8, 5))
+        with OracleCache(cache_path, read_only=True) as cache:
+            cache.put("ln", F(2), T8, RoundingMode.RNE, FPValue(T8, 6))
+            cache.flush()
+        with OracleCache(cache_path, read_only=True) as cache:
+            assert len(cache) == 1
+            assert cache.get("ln", F(2), T8, RoundingMode.RNE) is None
+
+    def test_pending_entries_visible_before_flush(self, cache_path):
+        with OracleCache(cache_path) as cache:
+            cache.put("ln", F(3), T8, RoundingMode.RNE, FPValue(T8, 9))
+            assert cache.get("ln", F(3), T8, RoundingMode.RNE).bits == 9
+            assert len(cache) == 1
+
+
+class TestRawEntries:
+    def test_round_trip(self):
+        v = FPValue(T10, 1)  # smallest subnormal
+        entry = raw_entry("cospi", F(-7, 16), T10, RoundingMode.RTO, v)
+        (fn, x, fmt, mode), got = decode_raw_entry(entry)
+        assert (fn, x, mode) == ("cospi", F(-7, 16), RoundingMode.RTO)
+        assert fmt == T10 and got.bits == 1 and got.fmt == T10
+
+    def test_absorb_entries_seeds_memo(self):
+        src = Oracle()
+        want = src.correctly_rounded("log2", F(3, 2), T8, RoundingMode.RNE)
+        entry = raw_entry("log2", F(3, 2), T8, RoundingMode.RNE, want)
+
+        dst = Oracle()
+        absorb_entries(dst, [entry])
+        got = dst.correctly_rounded("log2", F(3, 2), T8, RoundingMode.RNE)
+        assert got.bits == want.bits
+        assert dst.stats.computes == 0  # memo hit, no Ziv loop
+
+
+class TestCachedOracle:
+    def test_cold_then_warm(self, cache_path):
+        inputs = [F(k, 16) for k in range(1, 40)]
+        cold = open_oracle(cache_path)
+        want = [
+            cold.correctly_rounded("ln", x, T10, RoundingMode.RNE)
+            for x in inputs
+        ]
+        assert cold.stats.computes == len(inputs)
+        cold.close()
+
+        warm = open_oracle(cache_path)
+        got = [
+            warm.correctly_rounded("ln", x, T10, RoundingMode.RNE)
+            for x in inputs
+        ]
+        assert [v.bits for v in got] == [v.bits for v in want]
+        assert warm.stats.computes == 0
+        assert warm.stats.disk_hits == len(inputs)
+        warm.close()
+
+    def test_warm_all_modes(self, cache_path):
+        x = F(5, 8)
+        cold = open_oracle(cache_path)
+        want = cold.correctly_rounded_all("exp2", x, T8, IEEE_MODES)
+        cold.close()
+
+        warm = open_oracle(cache_path)
+        got = warm.correctly_rounded_all("exp2", x, T8, IEEE_MODES)
+        assert {m: v.bits for m, v in got.items()} == {
+            m: v.bits for m, v in want.items()
+        }
+        assert warm.stats.computes == 0
+        warm.close()
+
+    def test_record_new_captures_disk_hits(self, cache_path):
+        """Workers must ship *all* resolutions below the memo — fresh
+        computes and disk hits alike — so the parent memo stays warm."""
+        seed = open_oracle(cache_path)
+        seed.correctly_rounded("log2", F(3), T8, RoundingMode.RNE)
+        seed.close()
+
+        worker = open_oracle(cache_path, read_only=True, record_new=True)
+        worker.correctly_rounded("log2", F(3), T8, RoundingMode.RNE)  # disk hit
+        worker.correctly_rounded("log2", F(5), T8, RoundingMode.RNE)  # compute
+        drained = worker.drain_new()
+        assert len(drained) == 1 + 1
+        assert worker.drain_new() == []  # drained exactly once
+
+    def test_no_disk_layer_still_works(self):
+        o = CachedOracle(None, record_new=True)
+        v = o.correctly_rounded("ln", F(2), T8, RoundingMode.RNE)
+        assert v.fmt == T8
+        assert len(o.drain_new()) == 1

@@ -1,0 +1,137 @@
+"""Sharded runs must be bit-identical to serial ones, for any job count."""
+
+import pytest
+
+from repro.fp.encode import FPValue
+
+from repro.core import generate_function
+from repro.fp import IEEE_MODES, T8, T10
+from repro.funcs import TINY_CONFIG, make_pipeline
+from repro.libm.baselines import GeneratedLibrary
+from repro.mp import Oracle
+from repro.parallel import open_oracle, resolve_jobs
+from repro.verify import verify_exhaustive
+
+
+def _fingerprint(gen):
+    """Everything that defines a generated function, bit-exactly."""
+    return (
+        [p.poly.coefficients for p in gen.pieces],
+        [p.poly.term_counts for p in gen.pieces],
+        [p.r_max for p in gen.pieces],
+        sorted(gen.specials.items()),
+        gen.stats.constraints,
+    )
+
+
+class TestGenerationDeterminism:
+    def test_jobs_4_matches_serial(self):
+        serial = generate_function(
+            make_pipeline("log2", TINY_CONFIG, Oracle()), jobs=1
+        )
+        sharded = generate_function(
+            make_pipeline("log2", TINY_CONFIG, Oracle()), jobs=4
+        )
+        assert _fingerprint(sharded) == _fingerprint(serial)
+        assert sharded.stats.jobs == 4
+
+    def test_warm_cache_matches_cold(self, tmp_path):
+        path = str(tmp_path / "oracle.sqlite")
+        cold_oracle = open_oracle(path)
+        cold = generate_function(
+            make_pipeline("exp2", TINY_CONFIG, cold_oracle), jobs=1
+        )
+        cold_oracle.close()
+        assert cold_oracle.stats.computes > 0
+
+        warm_oracle = open_oracle(path)
+        warm = generate_function(
+            make_pipeline("exp2", TINY_CONFIG, warm_oracle), jobs=1
+        )
+        assert _fingerprint(warm) == _fingerprint(cold)
+        assert warm_oracle.stats.computes == 0  # every Ziv loop skipped
+        assert warm_oracle.stats.disk_hits > 0
+        warm_oracle.close()
+
+    def test_sharded_with_cache_matches(self, tmp_path):
+        path = str(tmp_path / "oracle.sqlite")
+        plain = generate_function(
+            make_pipeline("log2", TINY_CONFIG, Oracle()), jobs=1
+        )
+        oracle = open_oracle(path)
+        sharded = generate_function(
+            make_pipeline("log2", TINY_CONFIG, oracle), jobs=2
+        )
+        oracle.close()
+        assert _fingerprint(sharded) == _fingerprint(plain)
+
+    def test_phase_timings_recorded(self):
+        gen = generate_function(make_pipeline("log2", TINY_CONFIG, Oracle()))
+        phases = gen.stats.phase_seconds
+        for key in ("constraints", "oracle", "lp", "runtime-check"):
+            assert key in phases, phases
+            assert phases[key] >= 0.0
+        assert phases["constraints"] <= gen.stats.wall_seconds
+
+
+class _BitFlipLibrary:
+    """Flips the result's low bit everywhere: nearly every check fails.
+
+    Module-level so fork-started pool workers can reconstruct it.
+    """
+
+    label = "bitflip"
+
+    def __init__(self, inner):
+        self.inner = inner
+
+    def rounded(self, fn, v, mode, level):
+        got = self.inner.rounded(fn, v, mode, level)
+        return FPValue(got.fmt, got.bits ^ 1)
+
+
+class TestVerifyDeterminism:
+    @pytest.fixture(scope="class")
+    def lib(self, oracle, tiny_generated):
+        pipe, gen = tiny_generated("exp2")
+        return GeneratedLibrary({"exp2": pipe}, {"exp2": gen}, label="rlibm-prog")
+
+    def _fields(self, rep):
+        return (
+            rep.total_checks,
+            rep.wrong,
+            {m: n for m, n in rep.by_mode.items()},
+            [(f.input_bits, f.mode, f.got_bits, f.want_bits) for f in rep.failures],
+        )
+
+    def test_jobs_3_matches_serial(self, lib, oracle):
+        for fmt, level in ((T8, 0), (T10, 1)):
+            serial = verify_exhaustive(lib, "exp2", fmt, level, oracle, IEEE_MODES)
+            sharded = verify_exhaustive(
+                lib, "exp2", fmt, level, Oracle(), IEEE_MODES, jobs=3
+            )
+            assert self._fields(sharded) == self._fields(serial)
+            assert sharded.wall_seconds > 0.0
+
+    def test_failures_merge_in_input_order(self, lib, oracle):
+        """A broken library's recorded failures match serial order and cap."""
+        broken = _BitFlipLibrary(lib)
+        serial = verify_exhaustive(broken, "exp2", T8, 0, oracle, IEEE_MODES)
+        sharded = verify_exhaustive(
+            broken, "exp2", T8, 0, Oracle(), IEEE_MODES, jobs=3
+        )
+        assert serial.wrong > 0
+        assert len(serial.failures) == 32  # cap reached
+        assert self._fields(sharded) == self._fields(serial)
+
+
+class TestResolveJobs:
+    def test_explicit_passthrough(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(7) == 7
+
+    def test_zero_means_all_cores(self):
+        import os
+
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+        assert resolve_jobs(None) == (os.cpu_count() or 1)
