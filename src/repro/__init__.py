@@ -56,6 +56,21 @@ from .funcs import (
 from .libm import RlibmProg, load_generated, save_generated
 from .verify import verify_exhaustive
 
+# The stable high-level facade (see repro.api).  Note: binding `verify`
+# here shadows the `repro.verify` subpackage *attribute* with the facade
+# function; `from repro.verify import ...` still resolves the subpackage
+# through sys.modules.
+from . import api
+from .api import (
+    evaluate,
+    generate,
+    load_library,
+    make_evaluator,
+    oracle_session,
+    resolve_family,
+    verify,
+)
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -84,13 +99,21 @@ __all__ = [
     "RoundingMode",
     "TENSORFLOAT32",
     "TINY_CONFIG",
+    "api",
+    "evaluate",
     "evaluate_generated",
+    "generate",
     "generate_function",
     "load_generated",
+    "load_library",
+    "make_evaluator",
     "make_pipeline",
+    "oracle_session",
+    "resolve_family",
     "round_real",
     "rounding_interval",
     "save_generated",
     "solve_constraints",
+    "verify",
     "verify_exhaustive",
 ]

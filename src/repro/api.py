@@ -1,0 +1,225 @@
+"""Stable high-level facade over the generation / verification / serving
+pipeline.
+
+Users (and the CLI and server, which are thin shells over this module)
+should not have to hand-wire ``make_pipeline`` + ``load_generated`` +
+``RlibmProg`` per call site.  The facade covers the four verbs:
+
+* :func:`generate` — produce and (optionally) save a progressive
+  polynomial artifact for one function;
+* :func:`verify` — exhaustively check a saved artifact against the
+  oracle, every family format and rounding mode;
+* :func:`evaluate` — correctly rounded batch evaluation for any
+  ``(format, rounding-mode, level)``, with the serving tiers' graceful
+  degradation;
+* :func:`load_library` — the scalar :class:`~repro.libm.runtime.RlibmProg`
+  library for callers who want direct function objects.
+
+plus :func:`oracle_session`, a context-managed oracle handle whose
+persistent sqlite layer is always flushed and closed — including on
+error paths (the raw ``open_oracle`` handle used to leak on CLI errors).
+
+Everything here re-exports from ``repro``::
+
+    import repro
+
+    lib = repro.load_library("mini")
+    res = repro.evaluate("exp2", [0.5, 1.25], family="mini", fmt="p16")
+"""
+
+from __future__ import annotations
+
+import contextlib
+from pathlib import Path
+from typing import Iterable, List, NamedTuple, Optional, Sequence, Union
+
+from .fp.format import FPFormat
+from .fp.rounding import IEEE_MODES, RoundingMode
+from .funcs import FAMILY_CONFIGS, FamilyConfig, make_pipeline
+from .libm.artifacts import load_generated, save_generated
+from .libm.runtime import RlibmProg
+from .mp.oracle import FUNCTION_NAMES, Oracle
+from .serve.evaluator import BatchEvaluator, BatchResult
+from .serve.registry import ServingRegistry, resolve_family
+
+FamilyLike = Union[str, FamilyConfig]
+
+__all__ = [
+    "FAMILY_CONFIGS",
+    "GenerateResult",
+    "artifact_index",
+    "evaluate",
+    "generate",
+    "load_library",
+    "make_evaluator",
+    "oracle_session",
+    "resolve_family",
+    "verify",
+]
+
+
+def artifact_index(directory: Optional[Union[str, Path]] = None):
+    """Yield ``(family, name, GeneratedFunction)`` for artifacts on disk."""
+    from .libm.artifacts import available_artifacts
+
+    for art in available_artifacts(directory):
+        yield art["family"], art["name"], load_generated(
+            art["name"], art["family"], directory
+        )
+
+
+@contextlib.contextmanager
+def oracle_session(
+    cache_path: Optional[Union[str, Path]] = None,
+    *,
+    max_prec: int = 1 << 15,
+    read_only: bool = False,
+    record_new: bool = False,
+):
+    """An oracle, optionally backed by a persistent sqlite cache.
+
+    Yields a plain :class:`Oracle` when ``cache_path`` is None, else a
+    :class:`~repro.parallel.cache.CachedOracle`; either way the handle
+    is flushed and closed on exit — normal return *and* error paths.
+    """
+    from .parallel import open_oracle
+
+    oracle = open_oracle(
+        None if cache_path is None else str(cache_path),
+        max_prec=max_prec,
+        read_only=read_only,
+        record_new=record_new,
+    )
+    try:
+        yield oracle
+    finally:
+        close = getattr(oracle, "close", None)
+        if close is not None:
+            close()
+
+
+class GenerateResult(NamedTuple):
+    """What :func:`generate` hands back."""
+
+    generated: "object"  # GeneratedFunction (kept untyped to avoid import cycle)
+    path: Optional[Path]
+
+
+def generate(
+    fn: str,
+    family: FamilyLike = "mini",
+    *,
+    max_terms: int = 8,
+    seed: int = 0,
+    jobs: int = 1,
+    oracle: Optional[Oracle] = None,
+    out_dir: Optional[Union[str, Path]] = None,
+    save: bool = True,
+    progress=None,
+) -> GenerateResult:
+    """Generate one function's progressive-polynomial artifact.
+
+    Returns the :class:`~repro.core.search.GeneratedFunction` and, when
+    ``save`` is true, the JSON artifact path it was written to.
+    """
+    from .core import generate_function
+
+    config = resolve_family(family)
+    pipe = make_pipeline(fn, config, oracle)
+    gen = generate_function(
+        pipe, max_terms=max_terms, seed=seed, progress=progress, jobs=jobs
+    )
+    path = save_generated(gen, out_dir) if save else None
+    flush = getattr(pipe.oracle, "flush", None)
+    if flush is not None:
+        flush()
+    return GenerateResult(gen, path)
+
+
+def verify(
+    fn: str,
+    family: FamilyLike = "mini",
+    *,
+    directory: Optional[Union[str, Path]] = None,
+    oracle: Optional[Oracle] = None,
+    jobs: int = 1,
+    modes: Sequence[RoundingMode] = IEEE_MODES,
+    levels: Optional[Iterable[int]] = None,
+) -> List["object"]:
+    """Exhaustively verify one function's artifact.
+
+    Checks every input of every family format (or just ``levels``) under
+    ``modes``; returns the per-level
+    :class:`~repro.verify.exhaustive.VerificationReport` list.
+    """
+    from .libm.baselines import GeneratedLibrary
+    from .verify import verify_exhaustive
+
+    config = resolve_family(family)
+    oracle = oracle or Oracle()
+    gen = load_generated(fn, config.name, directory)
+    pipe = make_pipeline(fn, config, oracle)
+    lib = GeneratedLibrary({fn: pipe}, {fn: gen}, label="rlibm-prog")
+    wanted = range(config.levels) if levels is None else levels
+    reports = []
+    for level in wanted:
+        reports.append(
+            verify_exhaustive(
+                lib, fn, config.formats[level], level, oracle, modes, jobs=jobs
+            )
+        )
+    flush = getattr(oracle, "flush", None)
+    if flush is not None:
+        flush()
+    return reports
+
+
+def load_library(
+    family: FamilyLike = "mini",
+    out_dir: Optional[Union[str, Path]] = None,
+    *,
+    names: Iterable[str] = FUNCTION_NAMES,
+    oracle: Optional[Oracle] = None,
+) -> RlibmProg:
+    """The scalar runtime library for a family's saved artifacts."""
+    return RlibmProg.from_artifacts(
+        resolve_family(family), names, out_dir, oracle
+    )
+
+
+def make_evaluator(
+    family: FamilyLike = "mini",
+    directory: Optional[Union[str, Path]] = None,
+    *,
+    names: Iterable[str] = FUNCTION_NAMES,
+    oracle: Optional[Oracle] = None,
+) -> BatchEvaluator:
+    """A reusable batch evaluator (artifacts loaded once; the object the
+    server serves from).  Prefer this over repeated :func:`evaluate`
+    calls on hot paths."""
+    registry = ServingRegistry(family, directory, names=names, oracle=oracle)
+    return BatchEvaluator(registry)
+
+
+def evaluate(
+    fn: str,
+    inputs: Sequence[float],
+    family: FamilyLike = "mini",
+    *,
+    fmt: Optional[Union[str, int, FPFormat]] = None,
+    mode: Union[str, RoundingMode] = RoundingMode.RNE,
+    level: Optional[int] = None,
+    directory: Optional[Union[str, Path]] = None,
+    oracle: Optional[Oracle] = None,
+) -> BatchResult:
+    """Correctly rounded batch evaluation through the serving tiers.
+
+    One-shot convenience: builds a fresh single-function evaluator per
+    call (artifact loaded from ``directory``); missing artifacts degrade
+    to the oracle tier per the serving semantics, reported in
+    ``result.tiers``.
+    """
+    evaluator = make_evaluator(
+        family, directory, names=(fn,), oracle=oracle
+    )
+    return evaluator.evaluate(fn, inputs, fmt=fmt, level=level, mode=mode)

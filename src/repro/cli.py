@@ -6,29 +6,41 @@ Commands:
     eval      — evaluate a generated function at given inputs
     codegen   — emit C code for a generated function
     info      — show artifact properties (Table-1 style row)
+    serve     — batch-evaluation server (JSON over TCP)
+
+Every subcommand is a thin shell over the :mod:`repro.api` facade; the
+flag surface and printed output of the pre-facade CLI are preserved.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
-from fractions import Fraction
 
-from .funcs import MINI_CONFIG, PAPER_CONFIG, TINY_CONFIG, make_pipeline
-from .libm.artifacts import available_artifacts, load_generated
-from .mp import FUNCTION_NAMES, Oracle
+from . import api
+from .funcs import FAMILY_CONFIGS
+from .mp import FUNCTION_NAMES
 
-FAMILIES = {"tiny": TINY_CONFIG, "mini": MINI_CONFIG, "paper": PAPER_CONFIG}
+#: Deprecated alias (pre-facade name); use :data:`repro.funcs.FAMILY_CONFIGS`.
+FAMILIES = FAMILY_CONFIGS
 
 
 def _family_of(name: str):
+    """Family lookup with CLI error semantics.
+
+    Deprecated alias: use :func:`repro.api.resolve_family` in library code
+    (it raises ``ValueError`` instead of ``SystemExit``).
+    """
     try:
-        return FAMILIES[name]
-    except KeyError:
-        raise SystemExit(f"unknown family {name!r}; choose from {sorted(FAMILIES)}")
+        return api.resolve_family(name)
+    except ValueError as e:
+        raise SystemExit(str(e))
 
 
 def _open_cli_oracle(path):
+    """Deprecated: use :func:`_cli_oracle_session` / ``api.oracle_session``,
+    which close the sqlite handle on every exit path."""
     import sqlite3
 
     from .parallel import open_oracle
@@ -39,117 +51,168 @@ def _open_cli_oracle(path):
         raise SystemExit(f"cannot open --oracle-cache {path!r}: {e}")
 
 
+@contextlib.contextmanager
+def _cli_oracle_session(path):
+    """Context-managed CLI oracle: sqlite open failures exit with the CLI
+    message, and the cache handle is flushed/closed even when the command
+    body raises (the old ``_open_cli_oracle`` leaked it on error paths)."""
+    import sqlite3
+
+    session = api.oracle_session(path)
+    try:
+        oracle = session.__enter__()
+    except sqlite3.Error as e:
+        raise SystemExit(f"cannot open --oracle-cache {path!r}: {e}")
+    try:
+        yield oracle
+    finally:
+        session.__exit__(None, None, None)
+
+
 def cmd_generate(args) -> int:
     """`generate`: produce and save progressive-polynomial artifacts."""
-    from .core import generate_function
-    from .libm.artifacts import save_generated
     from .parallel import format_phase_report, resolve_jobs
 
     config = _family_of(args.family)
-    oracle = _open_cli_oracle(args.oracle_cache)
     jobs = resolve_jobs(args.jobs)
-    for fn in args.functions:
-        pipe = make_pipeline(fn, config, oracle)
-        gen = generate_function(
-            pipe, max_terms=args.max_terms, seed=args.seed,
-            progress=lambda m: print(f"  {m}", flush=True),
-            jobs=jobs,
-        )
-        path = save_generated(gen, args.out_dir)
-        print(f"{fn}: {gen.num_pieces} piece(s), {gen.storage_bytes} bytes -> {path}")
-        if args.timings:
-            print(
-                format_phase_report(
-                    gen.stats.phase_seconds, gen.stats.wall_seconds
-                )
+    with _cli_oracle_session(args.oracle_cache) as oracle:
+        for fn in args.functions:
+            gen, path = api.generate(
+                fn,
+                config,
+                max_terms=args.max_terms,
+                seed=args.seed,
+                jobs=jobs,
+                oracle=oracle,
+                out_dir=args.out_dir,
+                progress=lambda m: print(f"  {m}", flush=True),
             )
-        if getattr(oracle, "flush", None):
-            oracle.flush()
+            print(f"{fn}: {gen.num_pieces} piece(s), {gen.storage_bytes} bytes -> {path}")
+            if args.timings:
+                print(
+                    format_phase_report(
+                        gen.stats.phase_seconds, gen.stats.wall_seconds
+                    )
+                )
     return 0
 
 
 def cmd_verify(args) -> int:
     """`verify`: exhaustively check artifacts against the oracle."""
-    from .libm.baselines import GeneratedLibrary
-    from .fp import IEEE_MODES
-    from .verify import verify_exhaustive
-
     from .parallel import resolve_jobs
 
     config = _family_of(args.family)
-    oracle = _open_cli_oracle(args.oracle_cache)
     jobs = resolve_jobs(args.jobs)
     wrong = 0
-    for fn in args.functions:
-        gen = load_generated(fn, config.name, args.dir)
-        pipe = make_pipeline(fn, config, oracle)
-        lib = GeneratedLibrary({fn: pipe}, {fn: gen}, label="rlibm-prog")
-        for level, fmt in enumerate(config.formats):
-            rep = verify_exhaustive(
-                lib, fn, fmt, level, oracle, IEEE_MODES, jobs=jobs
+    with _cli_oracle_session(args.oracle_cache) as oracle:
+        for fn in args.functions:
+            reports = api.verify(
+                fn, config, directory=args.dir, oracle=oracle, jobs=jobs
             )
-            print(rep.summary())
-            if args.timings:
-                print(
-                    f"  wall {rep.wall_seconds:9.3f}s  "
-                    f"oracle {rep.oracle_seconds:9.3f}s  [{jobs} jobs]"
-                )
-            wrong += rep.wrong
-        if getattr(oracle, "flush", None):
-            oracle.flush()
+            for rep in reports:
+                print(rep.summary())
+                if args.timings:
+                    print(
+                        f"  wall {rep.wall_seconds:9.3f}s  "
+                        f"oracle {rep.oracle_seconds:9.3f}s  [{jobs} jobs]"
+                    )
+                wrong += rep.wrong
     return 0 if wrong == 0 else 1
 
 
 def cmd_eval(args) -> int:
     """`eval`: evaluate a generated function at given inputs."""
-    from .core import evaluate_generated
-    from .fp import RoundingMode, round_real
-
     config = _family_of(args.family)
-    oracle = Oracle()
-    gen = load_generated(args.function, config.name, args.dir)
-    pipe = make_pipeline(args.function, config, oracle)
+    evaluator = api.make_evaluator(
+        config, args.dir, names=(args.function,)
+    )
+    if args.function in evaluator.registry.missing:
+        # Keep the pre-facade contract: a missing artifact is an error,
+        # not an oracle-tier fallback (load_generated raises it).
+        from .libm.artifacts import load_generated
+
+        load_generated(args.function, config.name, args.dir)
     level = args.level if args.level is not None else config.levels - 1
     fmt = config.formats[level]
     for token in args.inputs:
         x = float(token)
-        y = evaluate_generated(pipe, gen, x, level)
-        try:
-            rounded = round_real(Fraction(y), fmt, RoundingMode.RNE).value
-        except (ValueError, OverflowError):
-            rounded = y
+        res = evaluator.evaluate(args.function, [x], level=level)
+        y = res.raw[0]
+        fpv = res.fpvalues()[0]
+        rounded = fpv.value if fpv.is_finite else y
         print(f"{args.function}({x}) = {y!r}  [{fmt.display_name}: {rounded}]")
     return 0
 
 
 def cmd_codegen(args) -> int:
     """`codegen`: print C code for a generated function."""
+    from .funcs import make_pipeline
+    from .libm.artifacts import load_generated
     from .libm.codegen import emit_function
 
     config = _family_of(args.family)
     gen = load_generated(args.function, config.name, args.dir)
-    pipe = make_pipeline(args.function, config, Oracle())
+    pipe = make_pipeline(args.function, config)
     sys.stdout.write(emit_function(pipe, gen))
     return 0
 
 
 def cmd_info(args) -> int:
     """`info`: Table-1-style listing of available artifacts."""
-    arts = available_artifacts(args.dir)
-    if not arts:
+    rows = list(api.artifact_index(args.dir))
+    if not rows:
         print("no artifacts found; run `python -m repro generate` first")
         return 1
     print(f"{'family':<10} {'fn':<7} {'pieces':>7} {'deg':>4} {'terms':>18} "
           f"{'specials':>9} {'bytes':>6}")
-    for art in arts:
-        fam, fn = art["family"], art["name"]
-        gen = load_generated(fn, fam, args.dir)
+    for fam, fn, gen in rows:
         counts = gen.pieces[0].poly.term_counts
         terms = "/".join(",".join(map(str, k)) for k in counts)
         print(
             f"{fam:<10} {fn:<7} {gen.num_pieces:>7} {gen.max_degree():>4} "
             f"{terms:>18} {len(gen.specials):>9} {gen.storage_bytes:>6}"
         )
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """`serve`: run the batch-evaluation server until interrupted."""
+    import asyncio
+
+    from .serve import ServeServer, ServingRegistry
+
+    config = _family_of(args.family)
+    registry = ServingRegistry(config, args.dir, names=args.functions)
+    if registry.missing:
+        print(
+            f"warning: no artifacts for {sorted(registry.missing)}; "
+            "serving those from the oracle tier",
+            flush=True,
+        )
+
+    async def run() -> None:
+        server = ServeServer(
+            registry,
+            args.host,
+            args.port,
+            max_batch=args.max_batch,
+            batch_window=args.batch_window_ms / 1000.0,
+        )
+        await server.start()
+        print(
+            f"serving family {config.name!r} on {args.host}:{server.port} "
+            f"(batch window {args.batch_window_ms}ms, max batch {args.max_batch})",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.aclose()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -206,6 +269,22 @@ def main(argv=None) -> int:
     i = sub.add_parser("info", help="list artifact properties")
     i.add_argument("--dir", default=None)
     i.set_defaults(func=cmd_info)
+
+    s = sub.add_parser("serve", help="serve batch evaluation over TCP")
+    s.add_argument("--family", default="mini")
+    s.add_argument("--functions", nargs="*", default=list(FUNCTION_NAMES))
+    s.add_argument("--dir", default=None)
+    s.add_argument("--host", default="127.0.0.1")
+    s.add_argument("--port", type=int, default=8317)
+    s.add_argument(
+        "--max-batch", type=int, default=4096,
+        help="flush a coalesced batch at this many pending inputs",
+    )
+    s.add_argument(
+        "--batch-window-ms", type=float, default=2.0,
+        help="how long to hold requests for coalescing (milliseconds)",
+    )
+    s.set_defaults(func=cmd_serve)
 
     args = ap.parse_args(argv)
     return args.func(args)

@@ -41,6 +41,14 @@ MINI_CONFIG = FamilyConfig(MINI_FAMILY, log_table_bits=6, exp_table_bits=6, trig
 #: A very small family for fast unit tests.
 TINY_CONFIG = FamilyConfig(TINY_FAMILY, log_table_bits=3, exp_table_bits=3, trig_table_bits=5, name="tiny")
 
+#: The named family configurations, as accepted anywhere a family can be
+#: spelled as a string (CLI flags, the ``repro.api`` facade, the server).
+FAMILY_CONFIGS: Dict[str, FamilyConfig] = {
+    "tiny": TINY_CONFIG,
+    "mini": MINI_CONFIG,
+    "paper": PAPER_CONFIG,
+}
+
 
 def make_pipeline(
     name: str, family: FamilyConfig, oracle: Optional[Oracle] = None
@@ -54,6 +62,7 @@ def make_pipeline(
 
 
 __all__ = [
+    "FAMILY_CONFIGS",
     "FamilyConfig",
     "FunctionPipeline",
     "GenOutcome",

@@ -18,6 +18,12 @@ from .baselines import (
     wide_format_for,
 )
 from .runtime import RlibmProg, RlibmProgFunction, round_double_to
+from .vround import (
+    decode_bits_to_doubles,
+    doubles_in_format,
+    round_doubles_to_bits,
+    supports_vector_rounding,
+)
 
 __all__ = [
     "available_artifacts",
@@ -27,6 +33,10 @@ __all__ = [
     "generated_to_dict",
     "load_generated",
     "save_generated",
+    "decode_bits_to_doubles",
+    "doubles_in_format",
+    "round_doubles_to_bits",
+    "supports_vector_rounding",
     "CrlibmStyleLibrary",
     "GeneratedLibrary",
     "Library",

@@ -1,0 +1,53 @@
+"""Batch-evaluation serving subsystem.
+
+The production-facing layer of the reproduction: load a family's
+progressive-polynomial artifacts once, then answer "correctly rounded
+``fn(x)`` in this format under this rounding mode" for whole batches —
+over TCP (:class:`ServeServer`, newline-delimited JSON) or in process
+(:class:`BatchEvaluator`).  Concurrent scalar requests coalesce into
+single vectorized kernel sweeps; responses report which fallback tier
+(vector / scalar / oracle) produced each result; the ``stats`` op
+exposes counters and batch-size / latency histograms.
+
+See the README's "Serving" section for the wire protocol.
+"""
+
+from .evaluator import (
+    BatchEvaluator,
+    BatchResult,
+    TIER_ORACLE,
+    TIER_SCALAR,
+    TIER_VECTOR,
+    resolve_mode,
+)
+from .metrics import Histogram, ServerMetrics
+from .registry import ServingRegistry, resolve_family
+from .server import (
+    BatchingDispatcher,
+    DEFAULT_BATCH_WINDOW,
+    DEFAULT_MAX_BATCH,
+    ServeClient,
+    ServeServer,
+    ServerThread,
+    start_server_thread,
+)
+
+__all__ = [
+    "BatchEvaluator",
+    "BatchResult",
+    "BatchingDispatcher",
+    "DEFAULT_BATCH_WINDOW",
+    "DEFAULT_MAX_BATCH",
+    "Histogram",
+    "ServeClient",
+    "ServeServer",
+    "ServerMetrics",
+    "ServerThread",
+    "ServingRegistry",
+    "TIER_ORACLE",
+    "TIER_SCALAR",
+    "TIER_VECTOR",
+    "resolve_family",
+    "resolve_mode",
+    "start_server_thread",
+]

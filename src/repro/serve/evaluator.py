@@ -1,0 +1,194 @@
+"""Batch evaluation with graceful degradation.
+
+:class:`BatchEvaluator` is the serving core, shared by the in-process
+API, the TCP server and the ``repro.api.evaluate`` facade.  One call
+answers "round ``fn`` at these inputs to this ``(format, mode, level)``"
+for a whole batch, dispatching each element to the cheapest tier that
+still guarantees the correctly rounded answer:
+
+``vector``
+    The numpy kernel sweeps the whole batch in one call and the result
+    doubles are rounded to bit patterns with the vectorized integer
+    rounding — bit-identical to the scalar path (both halves are tested
+    exhaustively).  Used when the artifact is loaded and the input is a
+    member value of the requested format.
+
+``scalar``
+    The scalar runtime (``evaluate_generated`` + exact rational
+    rounding), element-wise.  Used for inputs that are *not* values of
+    the requested format (the progressive guarantee is stated per
+    format, so such inputs leave the fast path's proven domain) and for
+    formats outside the vector-rounding envelope.
+
+``oracle``
+    The mpmath-style Ziv oracle.  Used when the function's artifact is
+    missing entirely: the range-reduction pipeline still exists, so
+    structural specials (NaN, infinities) are answered structurally and
+    every finite input is rounded correctly — just slowly.
+
+The tier that produced each result is reported per element, so callers
+(and the ``stats`` endpoint) can see degradation rather than silently
+paying for it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..fp.encode import FPValue
+from ..fp.format import FPFormat
+from ..fp.rounding import RoundingMode
+from ..libm.runtime import round_double_to
+from ..libm.vround import (
+    decode_bits_to_doubles,
+    doubles_in_format,
+    round_doubles_to_bits,
+    supports_vector_rounding,
+)
+from .metrics import ServerMetrics
+from .registry import ServingRegistry
+
+#: Fallback-tier labels, fastest first.
+TIER_VECTOR = "vector"
+TIER_SCALAR = "scalar"
+TIER_ORACLE = "oracle"
+
+
+def resolve_mode(mode: Union[str, RoundingMode]) -> RoundingMode:
+    """A :class:`RoundingMode` from its enum or wire spelling (``"rne"``)."""
+    if isinstance(mode, RoundingMode):
+        return mode
+    try:
+        return RoundingMode(str(mode).lower())
+    except ValueError:
+        raise ValueError(
+            f"unknown rounding mode {mode!r}; choose from "
+            f"{[m.value for m in RoundingMode]}"
+        ) from None
+
+
+@dataclass
+class BatchResult:
+    """Correctly rounded results for one batch."""
+
+    fn: str
+    family: str
+    fmt: FPFormat
+    level: int
+    mode: RoundingMode
+    #: Result bit patterns in ``fmt``, one per input.
+    bits: List[int] = field(default_factory=list)
+    #: The rounded results decoded back to doubles (NaN for NaN patterns).
+    values: List[float] = field(default_factory=list)
+    #: Raw double outputs of the progressive runtime (pre-rounding); for
+    #: the oracle tier this is the decoded rounded value itself.
+    raw: List[float] = field(default_factory=list)
+    #: Which tier produced each element: vector / scalar / oracle.
+    tiers: List[str] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.bits)
+
+    def fpvalues(self) -> List[FPValue]:
+        """The results as decoded :class:`FPValue` objects."""
+        return [FPValue(self.fmt, b) for b in self.bits]
+
+
+class BatchEvaluator:
+    """In-process batch-evaluation API over a :class:`ServingRegistry`."""
+
+    def __init__(
+        self,
+        registry: ServingRegistry,
+        metrics: Optional[ServerMetrics] = None,
+    ):
+        self.registry = registry
+        self.metrics = metrics or ServerMetrics()
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        fn: str,
+        inputs: Sequence[float],
+        *,
+        fmt: Optional[Union[str, int, FPFormat]] = None,
+        level: Optional[int] = None,
+        mode: Union[str, RoundingMode] = RoundingMode.RNE,
+    ) -> BatchResult:
+        """Correctly rounded bit patterns for a batch of double inputs."""
+        t0 = time.perf_counter()
+        reg = self.registry
+        level, fmt = reg.resolve_level(fmt, level)
+        mode = resolve_mode(mode)
+        if fn not in reg.pipelines:
+            raise KeyError(f"unknown function {fn!r}")
+        xs = np.asarray(list(inputs), dtype=np.float64)
+        n = xs.size
+        result = BatchResult(fn, reg.family.name, fmt, level, mode)
+        bits = np.zeros(n, dtype=np.int64)
+        raw = np.zeros(n, dtype=np.float64)
+        tiers = [TIER_ORACLE] * n
+
+        if reg.has_artifact(fn):
+            if reg.vector_capable(fn, fmt):
+                member = doubles_in_format(xs, fmt)
+            else:
+                member = np.zeros(n, dtype=bool)
+            if member.any():
+                kernel = reg.kernels[fn]
+                ys = kernel(xs[member], level)
+                bits[member] = round_doubles_to_bits(ys, fmt, mode)
+                raw[member] = ys
+                for i in np.nonzero(member)[0]:
+                    tiers[i] = TIER_VECTOR
+            scalar = reg.scalars[fn]
+            for i in np.nonzero(~member)[0]:
+                y = scalar(float(xs[i]), level)
+                bits[i] = round_double_to(y, fmt, mode).bits
+                raw[i] = y
+                tiers[i] = TIER_SCALAR
+        else:
+            pipe = reg.pipeline(fn)
+            for i in range(n):
+                x = float(xs[i])
+                # Structural specials come from the pipeline, which exists
+                # without any generated artifact; they also cover domain
+                # errors (log of non-positives) the oracle has no
+                # enclosure for.
+                y = pipe.special_value(x)
+                if y is None:
+                    v = reg.oracle.correctly_rounded(fn, Fraction(x), fmt, mode)
+                else:
+                    v = round_double_to(y, fmt, mode)
+                bits[i] = v.bits
+                raw[i] = v.to_float()
+
+        result.bits = [int(b) for b in bits]
+        result.raw = [float(r) for r in raw]
+        result.tiers = tiers
+        if supports_vector_rounding(fmt):
+            result.values = [float(v) for v in decode_bits_to_doubles(bits, fmt)]
+        else:
+            result.values = [FPValue(fmt, int(b)).to_float() for b in bits]
+        result.wall_seconds = time.perf_counter() - t0
+        self.metrics.record_batch(fn, n, tiers, result.wall_seconds)
+        return result
+
+    def evaluate_one(
+        self,
+        fn: str,
+        x: float,
+        *,
+        fmt: Optional[Union[str, int, FPFormat]] = None,
+        level: Optional[int] = None,
+        mode: Union[str, RoundingMode] = RoundingMode.RNE,
+    ) -> FPValue:
+        """Single-input convenience wrapper: the rounded :class:`FPValue`."""
+        res = self.evaluate(fn, [x], fmt=fmt, level=level, mode=mode)
+        return FPValue(res.fmt, res.bits[0])

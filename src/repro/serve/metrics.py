@@ -1,0 +1,137 @@
+"""Serving metrics: counters plus batch-size and latency histograms.
+
+Everything here is deliberately dependency-free (no prometheus client in
+the container) but keeps the same shape a scrape endpoint would export:
+monotonically increasing counters and fixed-bucket histograms, snapshot
+as one JSON-friendly dict by the server's ``stats`` op.
+
+A single lock guards all mutation: the asyncio server runs single
+threaded, but :class:`~repro.serve.evaluator.BatchEvaluator` is also a
+public in-process API and may be shared across threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Sequence
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact count/sum and quantile estimates."""
+
+    def __init__(self, bounds: Sequence[float]):
+        self.bounds: List[float] = sorted(bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += 1
+        self.sum += value
+        if value > self.max:
+            self.max = value
+
+    def quantile(self, q: float) -> float:
+        """Upper bucket bound holding the q-quantile (0 when empty).
+
+        The top (overflow) bucket reports the exact observed maximum, so
+        p99 stays meaningful even when everything lands past the bounds.
+        """
+        if self.total == 0:
+            return 0.0
+        rank = q * self.total
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank:
+                return self.bounds[i] if i < len(self.bounds) else self.max
+        return self.max
+
+    def snapshot(self) -> dict:
+        """JSON-friendly dump: buckets, count, sum, mean, p50/p99."""
+        return {
+            "buckets": [
+                {"le": b, "count": c} for b, c in zip(self.bounds, self.counts)
+            ]
+            + [{"le": "inf", "count": self.counts[-1]}],
+            "count": self.total,
+            "sum": self.sum,
+            "mean": self.sum / self.total if self.total else 0.0,
+            "max": self.max,
+            "p50": self.quantile(0.50),
+            "p99": self.quantile(0.99),
+        }
+
+
+#: Batch sizes: powers of two up to the default coalescing cap.
+BATCH_BOUNDS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
+#: Latency buckets in seconds (0.05 ms .. ~1 s).
+LATENCY_BOUNDS = (
+    5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0,
+)
+
+
+class ServerMetrics:
+    """Counters + histograms for one serving process."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.requests_by_fn: Dict[str, int] = {}
+        self.inputs_by_fn: Dict[str, int] = {}
+        self.results_by_tier: Dict[str, int] = {}
+        self.errors = 0
+        self.coalesced_flushes = 0
+        self.coalesced_requests = 0
+        self.batch_sizes = Histogram(BATCH_BOUNDS)
+        self.eval_latency = Histogram(LATENCY_BOUNDS)
+        self.request_latency = Histogram(LATENCY_BOUNDS)
+
+    # ------------------------------------------------------------------
+    def record_batch(
+        self, fn: str, n_inputs: int, tiers: Sequence[str], seconds: float
+    ) -> None:
+        """One evaluator batch: inputs swept, per-result tiers, eval wall."""
+        with self._lock:
+            self.requests_by_fn[fn] = self.requests_by_fn.get(fn, 0) + 1
+            self.inputs_by_fn[fn] = self.inputs_by_fn.get(fn, 0) + n_inputs
+            for tier in tiers:
+                self.results_by_tier[tier] = self.results_by_tier.get(tier, 0) + 1
+            self.batch_sizes.observe(n_inputs)
+            self.eval_latency.observe(seconds)
+
+    def record_request(self, seconds: float) -> None:
+        """Server-side wall clock of one protocol request."""
+        with self._lock:
+            self.request_latency.observe(seconds)
+
+    def record_error(self) -> None:
+        """A request that produced an error response."""
+        with self._lock:
+            self.errors += 1
+
+    def record_coalesce(self, n_requests: int) -> None:
+        """One dispatcher flush that fused ``n_requests`` client requests."""
+        with self._lock:
+            self.coalesced_flushes += 1
+            self.coalesced_requests += n_requests
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """The ``stats`` response body (all counters + histograms)."""
+        with self._lock:
+            return {
+                "requests_by_fn": dict(self.requests_by_fn),
+                "inputs_by_fn": dict(self.inputs_by_fn),
+                "results_by_tier": dict(self.results_by_tier),
+                "errors": self.errors,
+                "coalesced_flushes": self.coalesced_flushes,
+                "coalesced_requests": self.coalesced_requests,
+                "batch_sizes": self.batch_sizes.snapshot(),
+                "eval_latency_s": self.eval_latency.snapshot(),
+                "request_latency_s": self.request_latency.snapshot(),
+            }

@@ -1,0 +1,155 @@
+"""Artifact registry for the serving subsystem.
+
+Loads one family's generated artifacts from disk exactly once and keeps
+the three runtimes the evaluator dispatches between:
+
+* the numpy :class:`~repro.libm.vectorized.VectorizedFunction` kernel
+  (the batch hot path);
+* the scalar :class:`~repro.libm.runtime.RlibmProgFunction` (the
+  element-wise fallback for inputs outside the requested format);
+* the bare :class:`~repro.funcs.base.FunctionPipeline` + mpmath oracle
+  (last-resort tier when no artifact exists for a function).
+
+Pipelines are constructible without artifacts, so a registry never fails
+to build: functions whose artifact file is absent are tracked in
+:attr:`ServingRegistry.missing` and served from the oracle tier.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Set, Tuple, Union
+
+from ..fp.format import FPFormat
+from ..funcs import FAMILY_CONFIGS, FamilyConfig, make_pipeline
+from ..funcs.base import FunctionPipeline
+from ..libm.artifacts import load_generated
+from ..libm.runtime import RlibmProg, RlibmProgFunction
+from ..libm.vectorized import VectorizedFunction
+from ..libm.vround import supports_vector_rounding
+from ..mp.oracle import FUNCTION_NAMES, Oracle
+
+FamilyLike = Union[str, FamilyConfig]
+
+
+def resolve_family(family: FamilyLike) -> FamilyConfig:
+    """A :class:`FamilyConfig` from a config object or a registered name."""
+    if isinstance(family, FamilyConfig):
+        return family
+    try:
+        return FAMILY_CONFIGS[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown family {family!r}; choose from {sorted(FAMILY_CONFIGS)}"
+        ) from None
+
+
+class ServingRegistry:
+    """One family's functions, loaded once and shared by all requests."""
+
+    def __init__(
+        self,
+        family: FamilyLike,
+        directory: Optional[Path] = None,
+        names: Iterable[str] = FUNCTION_NAMES,
+        oracle: Optional[Oracle] = None,
+    ):
+        self.family = resolve_family(family)
+        self.directory = directory
+        self.oracle = oracle or Oracle()
+        self.pipelines: Dict[str, FunctionPipeline] = {}
+        self.kernels: Dict[str, VectorizedFunction] = {}
+        self.scalars: Dict[str, RlibmProgFunction] = {}
+        self.missing: Set[str] = set()
+        self._formats_by_name = {
+            fmt.display_name.lower(): (level, fmt)
+            for level, fmt in enumerate(self.family.formats)
+        }
+        for name in names:
+            pipe = make_pipeline(name, self.family, self.oracle)
+            self.pipelines[name] = pipe
+            try:
+                gen = load_generated(name, self.family.name, directory)
+            except FileNotFoundError:
+                self.missing.add(name)
+                continue
+            self.scalars[name] = RlibmProgFunction(pipe, gen)
+            self.kernels[name] = VectorizedFunction(pipe, gen)
+
+    # ------------------------------------------------------------------
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """All registered function names (loaded and missing alike)."""
+        return tuple(self.pipelines)
+
+    def has_artifact(self, fn: str) -> bool:
+        """True when the function's generated artifact is loaded."""
+        return fn in self.scalars
+
+    def pipeline(self, fn: str) -> FunctionPipeline:
+        """The range-reduction pipeline (exists even without an artifact)."""
+        try:
+            return self.pipelines[fn]
+        except KeyError:
+            raise KeyError(f"unknown function {fn!r}") from None
+
+    def resolve_level(
+        self,
+        fmt: Optional[Union[str, int, FPFormat]] = None,
+        level: Optional[int] = None,
+    ) -> Tuple[int, FPFormat]:
+        """``(level, format)`` from any request spelling.
+
+        Accepts a format name (``"p16"``/``"bfloat16"``), a level index,
+        an :class:`FPFormat`, or nothing (defaults to the widest format).
+        ``fmt`` given as an int is treated as a level.
+        """
+        if fmt is not None and level is not None:
+            raise ValueError("pass either fmt or level, not both")
+        if fmt is None and level is None:
+            level = self.family.levels - 1
+        if isinstance(fmt, int):
+            level, fmt = fmt, None
+        if level is not None:
+            if not 0 <= level < self.family.levels:
+                raise ValueError(
+                    f"level {level} out of range for {self.family.levels}-level"
+                    f" family {self.family.name!r}"
+                )
+            return level, self.family.formats[level]
+        if isinstance(fmt, str):
+            try:
+                return self._formats_by_name[fmt.lower()]
+            except KeyError:
+                raise ValueError(
+                    f"unknown format {fmt!r}; family {self.family.name!r} has"
+                    f" {sorted(self._formats_by_name)}"
+                ) from None
+        for lvl, f in enumerate(self.family.formats):
+            if f == fmt:
+                return lvl, f
+        raise ValueError(
+            f"{fmt} is not a member of the {self.family.name!r} family"
+        )
+
+    def vector_capable(self, fn: str, fmt: FPFormat) -> bool:
+        """Can (fn, fmt) run the batched kernel + vector rounding tier?"""
+        return fn in self.kernels and supports_vector_rounding(fmt)
+
+    # ------------------------------------------------------------------
+    def as_library(self) -> RlibmProg:
+        """The loaded functions as a plain :class:`RlibmProg` library."""
+        lib = RlibmProg(self.family, self.oracle)
+        for fn, scalar in self.scalars.items():
+            lib.add_generated(scalar.generated)
+        return lib
+
+    def describe(self) -> dict:
+        """The ``info`` op response body."""
+        return {
+            "family": self.family.name,
+            "formats": [f.display_name for f in self.family.formats],
+            "levels": self.family.levels,
+            "functions": sorted(self.scalars),
+            "missing": sorted(self.missing),
+        }

@@ -1,0 +1,451 @@
+"""The asyncio batch-evaluation server, its coalescing dispatcher, and a
+small synchronous client.
+
+Serving model: many clients fire scalar or small-batch ``eval`` requests
+concurrently; the :class:`BatchingDispatcher` holds each request for at
+most ``batch_window`` seconds (or until ``max_batch`` inputs are
+pending) and fuses everything aimed at the same ``(fn, level, mode)``
+into one :class:`~repro.serve.evaluator.BatchEvaluator` call — one numpy
+kernel sweep instead of N scalar evaluations.  Each caller gets back
+exactly its slice of the fused result, so fusion is invisible except in
+the ``stats`` histograms (and in the latency, which is the point).
+
+Requests within one connection are answered out of order (responses
+carry the request ``id``), so a single pipelining client coalesces with
+itself as well as with other connections.
+
+:class:`ServerThread` runs the whole loop on a daemon thread for tests,
+CI smoke checks and notebook use; ``python -m repro serve`` runs it in
+the foreground.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..fp.rounding import RoundingMode
+from .evaluator import BatchEvaluator, BatchResult, resolve_mode
+from .metrics import ServerMetrics
+from .protocol import (
+    ProtocolError,
+    encode_response,
+    error_response,
+    eval_response,
+    parse_eval_request,
+    parse_request,
+)
+from .registry import ServingRegistry
+
+#: Default coalescing window: long enough to fuse a burst of concurrent
+#: scalar requests, short enough to be invisible next to network latency.
+DEFAULT_BATCH_WINDOW = 0.002
+DEFAULT_MAX_BATCH = 4096
+
+
+@dataclass
+class _Bucket:
+    """Pending requests for one (fn, level, mode) coalescing key."""
+
+    inputs: List[float] = field(default_factory=list)
+    futures: List[Tuple[int, int, "asyncio.Future[BatchResult]"]] = field(
+        default_factory=list
+    )
+    timer: Optional[asyncio.TimerHandle] = None
+
+
+class BatchingDispatcher:
+    """Fuses concurrent eval requests into single vectorized batches."""
+
+    def __init__(
+        self,
+        evaluator: BatchEvaluator,
+        *,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        batch_window: float = DEFAULT_BATCH_WINDOW,
+    ):
+        self.evaluator = evaluator
+        self.metrics = evaluator.metrics
+        self.max_batch = max_batch
+        self.batch_window = batch_window
+        self._buckets: Dict[Tuple[str, int, str], _Bucket] = {}
+
+    async def submit(
+        self, fn: str, inputs: List[float], level: int, mode: RoundingMode
+    ) -> BatchResult:
+        """Enqueue one request; resolves with just this request's slice."""
+        key = (fn, level, mode.value)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = self._buckets[key] = _Bucket()
+        loop = asyncio.get_running_loop()
+        fut: "asyncio.Future[BatchResult]" = loop.create_future()
+        start = len(bucket.inputs)
+        bucket.inputs.extend(inputs)
+        bucket.futures.append((start, len(inputs), fut))
+        if len(bucket.inputs) >= self.max_batch:
+            self._flush(key)
+        elif bucket.timer is None:
+            bucket.timer = loop.call_later(
+                self.batch_window, self._flush, key
+            )
+        return await fut
+
+    def _flush(self, key: Tuple[str, int, str]) -> None:
+        bucket = self._buckets.pop(key, None)
+        if bucket is None:
+            return
+        if bucket.timer is not None:
+            bucket.timer.cancel()
+        fn, level, mode = key
+        self.metrics.record_coalesce(len(bucket.futures))
+        try:
+            result = self.evaluator.evaluate(
+                fn, bucket.inputs, level=level, mode=mode
+            )
+        except Exception as e:  # propagate to every fused caller
+            for _, _, fut in bucket.futures:
+                if not fut.done():
+                    fut.set_exception(e)
+            return
+        for start, count, fut in bucket.futures:
+            if fut.done():
+                continue
+            sl = slice(start, start + count)
+            fut.set_result(
+                BatchResult(
+                    result.fn,
+                    result.family,
+                    result.fmt,
+                    result.level,
+                    result.mode,
+                    bits=result.bits[sl],
+                    values=result.values[sl],
+                    raw=result.raw[sl],
+                    tiers=result.tiers[sl],
+                    wall_seconds=result.wall_seconds,
+                )
+            )
+
+    def flush_all(self) -> None:
+        """Flush every pending bucket (shutdown path)."""
+        for key in list(self._buckets):
+            self._flush(key)
+
+
+class ServeServer:
+    """JSON-over-TCP batch-evaluation server for one artifact registry."""
+
+    def __init__(
+        self,
+        registry: ServingRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        batch_window: float = DEFAULT_BATCH_WINDOW,
+        metrics: Optional[ServerMetrics] = None,
+    ):
+        self.registry = registry
+        self.host = host
+        self.requested_port = port
+        self.metrics = metrics or ServerMetrics()
+        self.evaluator = BatchEvaluator(registry, self.metrics)
+        self.dispatcher = BatchingDispatcher(
+            self.evaluator, max_batch=max_batch, batch_window=batch_window
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # ------------------------------------------------------------------
+    async def start(self) -> "ServeServer":
+        """Bind and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.requested_port
+        )
+        return self
+
+    @property
+    def port(self) -> int:
+        """The bound port (after :meth:`start`)."""
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def aclose(self) -> None:
+        """Stop accepting and flush pending batches."""
+        self.dispatcher.flush_all()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled."""
+        assert self._server is not None, "server not started"
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        pending: set = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                # Handle each request as its own task so a pipelining
+                # client's requests can coalesce with each other.
+                task = asyncio.ensure_future(
+                    self._handle_line(line, writer, write_lock)
+                )
+                pending.add(task)
+                task.add_done_callback(pending.discard)
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            pass  # loop shutdown: fall through and close the transport
+        finally:
+            for task in pending:
+                task.cancel()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                pass
+
+    async def _handle_line(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        t0 = loop.time()
+        req_id: Any = None
+        try:
+            obj = parse_request(line)
+            req_id = obj.get("id")
+            response = await self._dispatch(obj)
+            response.setdefault("id", req_id)
+        except ProtocolError as e:
+            self.metrics.record_error()
+            response = error_response(req_id, str(e))
+        except (KeyError, ValueError) as e:
+            self.metrics.record_error()
+            msg = e.args[0] if e.args and isinstance(e.args[0], str) else str(e)
+            response = error_response(req_id, msg)
+        self.metrics.record_request(loop.time() - t0)
+        async with write_lock:
+            writer.write(encode_response(response))
+            await writer.drain()
+
+    async def _dispatch(self, obj: dict) -> dict:
+        op = obj["op"]
+        if op == "eval":
+            fields = parse_eval_request(obj)
+            level, _fmt = self.registry.resolve_level(
+                fields["fmt"], fields["level"]
+            )
+            mode = resolve_mode(fields["mode"])
+            result = await self.dispatcher.submit(
+                fields["fn"], fields["inputs"], level, mode
+            )
+            return eval_response(obj.get("id"), result)
+        if op == "stats":
+            return {"ok": True, "stats": self.metrics.snapshot()}
+        if op == "info":
+            return {"ok": True, "info": self.registry.describe()}
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        raise ProtocolError(f"unknown op {op!r}")
+
+
+class ServerThread:
+    """A :class:`ServeServer` on a daemon thread (tests, CI, notebooks)."""
+
+    def __init__(self, registry: ServingRegistry, **server_kwargs):
+        self.registry = registry
+        self.server_kwargs = server_kwargs
+        self.server: Optional[ServeServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    def start(self, timeout: float = 10.0) -> "ServerThread":
+        """Start the loop thread; returns once the socket is listening."""
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("server failed to start in time")
+        if self._startup_error is not None:
+            raise RuntimeError("server failed to start") from self._startup_error
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        try:
+            self.server = loop.run_until_complete(
+                ServeServer(self.registry, **self.server_kwargs).start()
+            )
+        except BaseException as e:  # surfaced to start()
+            self._startup_error = e
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(self.server.aclose())
+            tasks = asyncio.all_tasks(loop)
+            for task in tasks:
+                task.cancel()
+            if tasks:
+                loop.run_until_complete(
+                    asyncio.gather(*tasks, return_exceptions=True)
+                )
+            loop.close()
+
+    @property
+    def port(self) -> int:
+        """The listening port."""
+        assert self.server is not None
+        return self.server.port
+
+    @property
+    def metrics(self) -> ServerMetrics:
+        """The live server metrics."""
+        assert self.server is not None
+        return self.server.metrics
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop the loop and join the thread."""
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+class ServeClient:
+    """Small synchronous client for the newline-JSON protocol."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        # One small JSON line per request: Nagle only adds latency here.
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+        self._responses: Dict[Any, dict] = {}
+
+    # ------------------------------------------------------------------
+    def _send(self, obj: dict) -> Any:
+        self._next_id += 1
+        obj.setdefault("id", self._next_id)
+        self._file.write((json.dumps(obj) + "\n").encode())
+        self._file.flush()
+        return obj["id"]
+
+    def _recv(self, want_id: Any) -> dict:
+        while want_id not in self._responses:
+            line = self._file.readline()
+            if not line:
+                raise ConnectionError("server closed the connection")
+            resp = json.loads(line)
+            self._responses[resp.get("id")] = resp
+        return self._responses.pop(want_id)
+
+    def request(self, obj: dict) -> dict:
+        """One synchronous round trip."""
+        return self._recv(self._send(obj))
+
+    # ------------------------------------------------------------------
+    def eval(
+        self,
+        fn: str,
+        inputs,
+        *,
+        fmt=None,
+        level: Optional[int] = None,
+        mode: str = "rne",
+    ) -> dict:
+        """Evaluate a batch; returns the decoded response dict."""
+        req: dict = {"op": "eval", "fn": fn, "inputs": list(inputs), "mode": mode}
+        if fmt is not None:
+            req["fmt"] = fmt
+        if level is not None:
+            req["level"] = level
+        return self.request(req)
+
+    def eval_many(self, requests: List[dict]) -> List[dict]:
+        """Pipeline several eval requests at once (they may coalesce
+        with each other server-side); responses in request order."""
+        ids = [self._send(dict(r, op="eval")) for r in requests]
+        return [self._recv(i) for i in ids]
+
+    def stats(self) -> dict:
+        """The server's metrics snapshot."""
+        return self.request({"op": "stats"})["stats"]
+
+    def info(self) -> dict:
+        """The server's registry description."""
+        return self.request({"op": "info"})["info"]
+
+    def ping(self) -> bool:
+        """Liveness probe."""
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    def close(self) -> None:
+        """Close the connection."""
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def start_server_thread(
+    family,
+    directory: Optional[Path] = None,
+    *,
+    names=None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_batch: int = DEFAULT_MAX_BATCH,
+    batch_window: float = DEFAULT_BATCH_WINDOW,
+) -> ServerThread:
+    """Build a registry and serve it from a daemon thread (convenience)."""
+    from ..mp.oracle import FUNCTION_NAMES
+
+    registry = ServingRegistry(
+        family, directory, names=names or FUNCTION_NAMES
+    )
+    return ServerThread(
+        registry,
+        host=host,
+        port=port,
+        max_batch=max_batch,
+        batch_window=batch_window,
+    ).start()
