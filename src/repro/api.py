@@ -116,18 +116,34 @@ def generate(
     out_dir: Optional[Union[str, Path]] = None,
     save: bool = True,
     progress=None,
+    checkpoint: Optional[bool] = None,
+    resume: bool = False,
 ) -> GenerateResult:
     """Generate one function's progressive-polynomial artifact.
 
     Returns the :class:`~repro.core.search.GeneratedFunction` and, when
     ``save`` is true, the JSON artifact path it was written to.
+
+    ``checkpoint`` (default: on whenever ``save`` is) writes per-piece
+    progress to a ``<family>_<fn>.ckpt.json`` sidecar next to the
+    artifact; ``resume=True`` picks a matching sidecar up so a killed
+    run continues where it died and produces a byte-identical artifact.
     """
     from .core import generate_function
+    from .libm.artifacts import ARTIFACT_DIR
+    from .resilience.checkpoint import checkpoint_path_for
 
     config = resolve_family(family)
     pipe = make_pipeline(fn, config, oracle)
+    if checkpoint is None:
+        checkpoint = save
+    ckpt_path = None
+    if checkpoint:
+        artifact = Path(out_dir or ARTIFACT_DIR) / f"{config.name}_{fn}.json"
+        ckpt_path = str(checkpoint_path_for(artifact))
     gen = generate_function(
-        pipe, max_terms=max_terms, seed=seed, progress=progress, jobs=jobs
+        pipe, max_terms=max_terms, seed=seed, progress=progress, jobs=jobs,
+        checkpoint_path=ckpt_path, resume=resume,
     )
     path = save_generated(gen, out_dir) if save else None
     flush = getattr(pipe.oracle, "flush", None)

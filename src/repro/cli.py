@@ -21,6 +21,7 @@ import sys
 from . import api
 from .funcs import FAMILY_CONFIGS
 from .mp import FUNCTION_NAMES
+from .parallel.pool import start_method
 
 #: Deprecated alias (pre-facade name); use :data:`repro.funcs.FAMILY_CONFIGS`.
 FAMILIES = FAMILY_CONFIGS
@@ -86,6 +87,8 @@ def cmd_generate(args) -> int:
                 oracle=oracle,
                 out_dir=args.out_dir,
                 progress=lambda m: print(f"  {m}", flush=True),
+                checkpoint=not args.no_checkpoint,
+                resume=args.resume,
             )
             print(f"{fn}: {gen.num_pieces} piece(s), {gen.storage_bytes} bytes -> {path}")
             if args.timings:
@@ -197,6 +200,8 @@ def cmd_serve(args) -> int:
             args.port,
             max_batch=args.max_batch,
             batch_window=args.batch_window_ms / 1000.0,
+            max_pending=args.max_pending,
+            request_deadline=args.request_deadline,
         )
         await server.start()
         print(
@@ -218,6 +223,14 @@ def cmd_serve(args) -> int:
 
 def main(argv=None) -> int:
     """CLI dispatcher; returns a process exit code."""
+    # Fail fast on a bad REPRO_MP_START, even for serial runs where no
+    # pool would ever consult it — a silently ignored knob is worse than
+    # an early exit.
+    try:
+        start_method()
+    except ValueError as e:
+        raise SystemExit(str(e))
+
     ap = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = ap.add_subparsers(dest="command", required=True)
 
@@ -242,6 +255,16 @@ def main(argv=None) -> int:
     g.add_argument("--max-terms", type=int, default=8)
     g.add_argument("--seed", type=int, default=0)
     g.add_argument("--out-dir", default=None)
+    g.add_argument(
+        "--resume", action="store_true",
+        help="resume from a <family>_<fn>.ckpt.json sidecar left by a"
+             " killed run (skips completed pieces; artifact is"
+             " byte-identical to an uninterrupted run)",
+    )
+    g.add_argument(
+        "--no-checkpoint", action="store_true",
+        help="disable the per-piece progress checkpoint sidecar",
+    )
     add_parallel_flags(g)
     g.set_defaults(func=cmd_generate)
 
@@ -283,6 +306,15 @@ def main(argv=None) -> int:
     s.add_argument(
         "--batch-window-ms", type=float, default=2.0,
         help="how long to hold requests for coalescing (milliseconds)",
+    )
+    s.add_argument(
+        "--max-pending", type=int, default=256,
+        help="admit at most this many in-flight requests; excess gets a"
+             " structured 'overloaded' error (backpressure)",
+    )
+    s.add_argument(
+        "--request-deadline", type=float, default=30.0,
+        help="per-request deadline in seconds ('deadline_exceeded' error)",
     )
     s.set_defaults(func=cmd_serve)
 

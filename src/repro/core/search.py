@@ -160,13 +160,29 @@ def generate_function(
     progress=None,
     jobs: int = 1,
     timings: Optional["PhaseTimings"] = None,
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
 ) -> GeneratedFunction:
     """End-to-end generation of one function's progressive polynomials.
 
     ``jobs`` shards the constraint sweep across processes (1 = fully
     in-process); results are bit-identical for any worker count.
+
+    ``checkpoint_path`` enables per-piece progress checkpointing to a
+    sidecar JSON; with ``resume=True`` a matching sidecar restores the
+    completed pieces, the RNG state and the search counters, so a killed
+    run continues from where it died and produces an artifact
+    byte-identical to an uninterrupted one.  The sidecar is deleted on
+    success.
     """
     from ..parallel.timing import PhaseTimings
+    from ..resilience.checkpoint import (
+        SearchCheckpoint,
+        delete_checkpoint,
+        load_checkpoint,
+        save_checkpoint,
+    )
+    from ..resilience.faults import maybe_raise
 
     t0 = time.perf_counter()
     timings = timings if timings is not None else PhaseTimings()
@@ -179,14 +195,53 @@ def generate_function(
     rng = np.random.default_rng(seed)
     power_cache: dict = {}
 
+    ckpt_params = None
+    resumed_pieces: List[Piece] = []
+    resumed_failures: List[int] = []
     nsplits = 1
+    if checkpoint_path is not None:
+        from ..libm.artifacts import piece_from_dict, piece_to_dict
+
+        ckpt_params = {
+            "fn": pipeline.name,
+            "family": pipeline.family.name,
+            "levels": pipeline.family.levels,
+            "max_terms": max_terms,
+            "max_subdomains": max_subdomains,
+            "max_specials": max_specials,
+            "max_iterations": max_iterations,
+            "seed": seed,
+            "constraints": len(constraints),
+        }
+        ckpt = load_checkpoint(checkpoint_path, ckpt_params) if resume else None
+        if ckpt is not None:
+            nsplits = ckpt.nsplits
+            resumed_pieces = [piece_from_dict(pd) for pd in ckpt.pieces]
+            resumed_failures = list(ckpt.failure_counts)
+            # The saved RNG state encodes every draw up to (and
+            # including) the last completed piece — restoring it makes
+            # the continuation follow the uninterrupted run bit for bit.
+            rng.bit_generator.state = ckpt.rng_state
+            stats.clarkson_iterations = ckpt.stats.get("clarkson_iterations", 0)
+            stats.lp_solves = ckpt.stats.get("lp_solves", 0)
+            stats.configs_tried = ckpt.stats.get("configs_tried", 0)
+            if progress:
+                progress(
+                    f"{pipeline.name}: resuming at {nsplits} sub-domain(s)"
+                    f" with {len(resumed_pieces)} piece(s) done"
+                )
+
     while nsplits <= max_subdomains:
         pieces_constraints, bounds = _split_by_r(constraints, nsplits)
         pieces: List[Piece] = []
         budget_specials = max_specials * nsplits
         ok = True
-        all_failures: List[ReducedConstraint] = []
+        piece_failures: List[int] = []
         for pi, piece_cons in enumerate(pieces_constraints):
+            if pi < len(resumed_pieces):
+                pieces.append(resumed_pieces[pi])
+                piece_failures.append(resumed_failures[pi])
+                continue
             result = _search_piece(
                 pipeline, piece_cons, max_terms, max_iterations, rng, stats,
                 max_specials, power_cache, timings,
@@ -195,11 +250,30 @@ def generate_function(
                 ok = False
                 break
             poly, failures = result
-            all_failures.extend(failures)
+            piece_failures.append(len(failures))
             pieces.append(
                 Piece(poly, bounds[pi] if pi < nsplits - 1 else None)
             )
-        if ok and len(all_failures) <= budget_specials:
+            if checkpoint_path is not None:
+                save_checkpoint(
+                    checkpoint_path,
+                    SearchCheckpoint(
+                        params=ckpt_params,
+                        nsplits=nsplits,
+                        pieces=[piece_to_dict(p) for p in pieces],
+                        failure_counts=list(piece_failures),
+                        rng_state=rng.bit_generator.state,
+                        stats={
+                            "clarkson_iterations": stats.clarkson_iterations,
+                            "lp_solves": stats.lp_solves,
+                            "configs_tried": stats.configs_tried,
+                        },
+                    ),
+                )
+                maybe_raise("search.crash")
+        resumed_pieces = []
+        resumed_failures = []
+        if ok and sum(piece_failures) <= budget_specials:
             # Clarkson-violated constraints are not special-cased here: the
             # runtime re-verification below checks every merged input and
             # stores exactly the ones that actually fail, enforcing the
@@ -226,6 +300,8 @@ def generate_function(
                 )
                 stats.wall_seconds = time.perf_counter() - t0
                 stats.phase_seconds = timings.as_dict()
+                if checkpoint_path is not None:
+                    delete_checkpoint(checkpoint_path)
                 return gen
             timings.add("oracle", pipeline.oracle.stats.seconds - oracle_sec0)
         nsplits *= 2

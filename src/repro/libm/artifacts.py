@@ -20,51 +20,66 @@ from ..core.search import GeneratedFunction, GenerationStats, Piece
 ARTIFACT_DIR = Path(__file__).resolve().parent / "artifacts"
 
 
+def piece_to_dict(p: Piece) -> dict:
+    """JSON-serializable form of one sub-domain piece (bit-exact).
+
+    Shared by the artifact writer and the generation checkpoint sidecar
+    (:mod:`repro.resilience.checkpoint`), so a resumed run restores the
+    exact polynomial a killed run had already found.
+    """
+    return {
+        "r_max": None if p.r_max is None else p.r_max.hex(),
+        "shapes": [list(s.exponents) for s in p.poly.shapes],
+        "coefficients": [
+            [f"{c.numerator}/{c.denominator}" for c in cs]
+            for cs in p.poly.coefficients
+        ],
+        "term_counts": [list(k) for k in p.poly.term_counts],
+    }
+
+
+def piece_from_dict(pd: dict) -> Piece:
+    """Inverse of :func:`piece_to_dict`."""
+    shapes = tuple(PolyShape(tuple(e)) for e in pd["shapes"])
+    coeffs = tuple(
+        tuple(_parse_fraction(c) for c in cs) for cs in pd["coefficients"]
+    )
+    term_counts = tuple(tuple(k) for k in pd["term_counts"])
+    poly = ProgressivePolynomial(shapes, coeffs, term_counts)
+    r_max = None if pd["r_max"] is None else float.fromhex(pd["r_max"])
+    return Piece(poly, r_max)
+
+
 def generated_to_dict(gen: GeneratedFunction) -> dict:
-    """JSON-serializable form of a generated function (bit-exact)."""
+    """JSON-serializable form of a generated function (bit-exact).
+
+    Only deterministic search counters go into ``stats``: wall-clock
+    fields (``wall_seconds``, ``phase_seconds``) and the worker count
+    vary run to run, and the artifact must be a pure function of
+    ``(fn, family, seed, search parameters)`` so that re-runs — and
+    killed-then-resumed runs — produce byte-identical files.  Loading
+    older artifacts that carry the timing keys still works.
+    """
     return {
         "name": gen.name,
         "family": gen.family_name,
-        "pieces": [
-            {
-                "r_max": None if p.r_max is None else p.r_max.hex(),
-                "shapes": [list(s.exponents) for s in p.poly.shapes],
-                "coefficients": [
-                    [f"{c.numerator}/{c.denominator}" for c in cs]
-                    for cs in p.poly.coefficients
-                ],
-                "term_counts": [list(k) for k in p.poly.term_counts],
-            }
-            for p in gen.pieces
-        ],
+        "pieces": [piece_to_dict(p) for p in gen.pieces],
         "specials": [
             [level, xd.hex(), out.hex()]
             for (level, xd), out in sorted(gen.specials.items())
         ],
         "stats": {
-            "wall_seconds": gen.stats.wall_seconds,
             "clarkson_iterations": gen.stats.clarkson_iterations,
             "lp_solves": gen.stats.lp_solves,
             "constraints": gen.stats.constraints,
             "configs_tried": gen.stats.configs_tried,
-            "phase_seconds": dict(gen.stats.phase_seconds),
-            "jobs": gen.stats.jobs,
         },
     }
 
 
 def generated_from_dict(data: dict) -> GeneratedFunction:
     """Inverse of :func:`generated_to_dict`."""
-    pieces = []
-    for pd in data["pieces"]:
-        shapes = tuple(PolyShape(tuple(e)) for e in pd["shapes"])
-        coeffs = tuple(
-            tuple(_parse_fraction(c) for c in cs) for cs in pd["coefficients"]
-        )
-        term_counts = tuple(tuple(k) for k in pd["term_counts"])
-        poly = ProgressivePolynomial(shapes, coeffs, term_counts)
-        r_max = None if pd["r_max"] is None else float.fromhex(pd["r_max"])
-        pieces.append(Piece(poly, r_max))
+    pieces = [piece_from_dict(pd) for pd in data["pieces"]]
     specials = {
         (level, float.fromhex(xh)): float.fromhex(yh)
         for level, xh, yh in data.get("specials", [])

@@ -22,18 +22,38 @@ pointing at the same cache file resolves every previously seen
 cache read-only and ship the entries they resolve back to the parent,
 which both seeds its in-memory memo (so the post-LP runtime re-check is
 warm) and flushes the new rows to disk in one transaction.
+
+The cache is *self-healing*: every open runs ``PRAGMA integrity_check``
+and validates the schema version, and a corrupt or unreadable file is
+quarantined (renamed to ``<path>.corrupt-<timestamp>``) and replaced
+with a fresh cache rather than crashing a multi-hour run — the cache is
+an accelerator, never a correctness dependency.  Flushes are atomic
+(single transaction, rolled back on error) and a failing disk degrades
+the cache to memory-only with a warning instead of aborting.
 """
 
 from __future__ import annotations
 
+import logging
+import os
 import sqlite3
+import time
 from fractions import Fraction
 from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..resilience.faults import maybe_fire, corrupt_file
 
 from ..fp.encode import FPValue
 from ..fp.format import FPFormat
 from ..fp.rounding import RoundingMode
 from ..mp.oracle import Oracle
+
+logger = logging.getLogger("repro.parallel")
+
+#: Bump when the table layout changes; files with a *newer* version are
+#: quarantined (we cannot interpret them), version-0 files from before
+#: versioning are adopted in place and stamped.
+SCHEMA_VERSION = 1
 
 #: Wire format of one cache entry, picklable across process boundaries:
 #: (fn, numerator, denominator, total_bits, exponent_bits, mode value, bits).
@@ -75,21 +95,87 @@ class OracleCache:
     def __init__(self, path: str, read_only: bool = False):
         self.path = str(path)
         self.read_only = read_only
-        # A generous busy timeout: several pool workers may open (and, on
-        # first use, create) the same file at once.
-        self._conn = sqlite3.connect(self.path, timeout=30.0)
-        self._conn.execute(
-            "CREATE TABLE IF NOT EXISTS oracle"
-            " (key TEXT PRIMARY KEY, bits TEXT NOT NULL)"
-        )
-        if not read_only:
-            # WAL lets concurrent worker readers proceed while the parent
-            # flushes; harmless (and persistent) on a fresh file.
-            self._conn.execute("PRAGMA journal_mode=WAL")
-            self._conn.commit()
+        #: Path the previous contents were quarantined to, if any.
+        self.quarantined: Optional[str] = None
+        #: True once a flush has failed: the cache keeps serving reads
+        #: and memo writes but stops promising persistence.
+        self.degraded = False
+        if maybe_fire("cache.corrupt"):
+            corrupt_file(self.path)
+        try:
+            self._conn = self._open_checked()
+        except sqlite3.Error:
+            # Only an existing file can be quarantined; when there is
+            # nothing on disk the failure is environmental (missing
+            # parent directory, permissions) and must propagate so the
+            # caller can report it instead of a rename blowing up here.
+            if not os.path.exists(self.path):
+                raise
+            self.quarantined = self._quarantine("corrupt database")
+            self._conn = self._open_checked()
         self._pending: Dict[str, str] = {}
         self.hits = 0
         self.misses = 0
+
+    def _open_checked(self) -> sqlite3.Connection:
+        """Connect, verify integrity + schema version, ensure the table.
+
+        Raises ``sqlite3.Error`` when the file cannot be trusted; the
+        caller quarantines it and retries on a fresh file.
+        """
+        existed = os.path.exists(self.path)
+        # A generous busy timeout: several pool workers may open (and, on
+        # first use, create) the same file at once.
+        conn = sqlite3.connect(self.path, timeout=30.0)
+        try:
+            if existed:
+                row = conn.execute("PRAGMA integrity_check").fetchone()
+                if row is None or row[0] != "ok":
+                    raise sqlite3.DatabaseError(
+                        f"integrity_check failed: {row and row[0]!r}"
+                    )
+                version = conn.execute("PRAGMA user_version").fetchone()[0]
+                if version not in (0, SCHEMA_VERSION):
+                    raise sqlite3.DatabaseError(
+                        f"unsupported cache schema version {version}"
+                    )
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS oracle"
+                " (key TEXT PRIMARY KEY, bits TEXT NOT NULL)"
+            )
+            # The table must have the expected shape, not just the name.
+            conn.execute("SELECT key, bits FROM oracle LIMIT 1").fetchone()
+            if not self.read_only:
+                conn.execute(f"PRAGMA user_version={SCHEMA_VERSION}")
+                # WAL lets concurrent worker readers proceed while the
+                # parent flushes; harmless (and persistent) on a fresh
+                # file.
+                conn.execute("PRAGMA journal_mode=WAL")
+                conn.commit()
+        except sqlite3.Error:
+            conn.close()
+            raise
+        return conn
+
+    def _quarantine(self, reason: str) -> str:
+        """Move the corrupt file (and WAL droppings) aside; warn loudly."""
+        stamp = time.strftime("%Y%m%d-%H%M%S")
+        target = f"{self.path}.corrupt-{stamp}"
+        n = 0
+        while os.path.exists(target):
+            n += 1
+            target = f"{self.path}.corrupt-{stamp}.{n}"
+        os.replace(self.path, target)
+        for suffix in ("-wal", "-shm"):
+            try:
+                os.unlink(self.path + suffix)
+            except FileNotFoundError:
+                pass
+        logger.warning(
+            "oracle cache %s is unusable (%s); quarantined to %s and "
+            "starting a fresh cache", self.path, reason, target,
+        )
+        return target
 
     # ------------------------------------------------------------------
     def get(
@@ -132,15 +218,43 @@ class OracleCache:
         if len(self._pending) >= self._FLUSH_EVERY:
             self.flush()
 
+    #: Pending-map size past which a persistently failing flush starts
+    #: dropping entries (the cache is best-effort; memory is not).
+    _PENDING_CAP = 8 * _FLUSH_EVERY
+
     def flush(self) -> None:
-        """Write queued entries to disk in one transaction."""
+        """Write queued entries to disk in one atomic transaction.
+
+        A failed flush rolls back (no half-written batch), keeps the
+        entries pending for the next attempt, and degrades the cache
+        with a warning instead of raising: persistence is an
+        optimization, never worth aborting a generation run over.
+        """
         if not self._pending:
             return
-        self._conn.executemany(
-            "INSERT OR IGNORE INTO oracle (key, bits) VALUES (?, ?)",
-            list(self._pending.items()),
-        )
-        self._conn.commit()
+        try:
+            if maybe_fire("cache.flush"):
+                raise sqlite3.OperationalError("injected flush fault")
+            self._conn.executemany(
+                "INSERT OR IGNORE INTO oracle (key, bits) VALUES (?, ?)",
+                list(self._pending.items()),
+            )
+            self._conn.commit()
+        except sqlite3.Error as e:
+            try:
+                self._conn.rollback()
+            except sqlite3.Error:
+                pass
+            if not self.degraded:
+                logger.warning(
+                    "oracle cache %s: flush failed (%s); continuing "
+                    "without persistence", self.path, e,
+                )
+            self.degraded = True
+            if len(self._pending) > self._PENDING_CAP:
+                self._pending.clear()
+            return
+        self.degraded = False
         self._pending.clear()
 
     def __len__(self) -> int:

@@ -7,9 +7,9 @@ This module shards those enumerations across ``multiprocessing`` workers
 in fixed-size chunks of *bit patterns* (tiny pickles), with:
 
 * **deterministic merge order** — chunks are emitted level-by-level in
-  enumeration order and results are consumed with ``imap`` (order
-  preserving), so the merged outcome/report sequence is byte-identical to
-  the serial sweep for any worker count;
+  enumeration order and results are consumed in submission order, so the
+  merged outcome/report sequence is byte-identical to the serial sweep
+  for any worker count — and for any number of worker failures;
 * **spawn-safety** — workers are initialized by module-level functions
   from picklable specs (function name, family, artifact, cache path);
   no closures or lambdas cross the process boundary;
@@ -17,7 +17,16 @@ in fixed-size chunks of *bit patterns* (tiny pickles), with:
   :class:`CachedOracle` (reading the shared persistent cache read-only)
   and returns the entries it resolved; the parent absorbs them into its
   memo and persists them, so downstream phases and warm re-runs skip the
-  Ziv loops.
+  Ziv loops;
+* **failure recovery** — every chunk is retried with exponential
+  backoff when its worker dies or exceeds the per-chunk deadline; a
+  dead worker triggers a full pool respawn (the surviving siblings may
+  share its corrupted state); and a chunk that keeps failing — a poison
+  chunk — is finally computed **in-process** by the parent, so a
+  multi-hour sweep completes (bit-identically) no matter what the
+  workers do.  Tune with ``REPRO_CHUNK_TIMEOUT`` (seconds, default
+  300), ``REPRO_CHUNK_RETRIES`` (default 2) and ``REPRO_RETRY_BACKOFF``
+  (base seconds, default 0.05).
 
 ``jobs=1`` callers never reach this module: the serial code path runs
 unchanged in-process with zero pickling overhead.
@@ -25,18 +34,36 @@ unchanged in-process with zero pickling overhead.
 
 from __future__ import annotations
 
+import logging
 import os
 import time
+from multiprocessing import TimeoutError as MPTimeoutError
 from multiprocessing import get_all_start_methods, get_context
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..fp.encode import FPValue
 from ..fp.enumerate import all_finite
 from ..fp.rounding import RoundingMode
+from ..resilience.faults import maybe_crash, maybe_sleep
 from .cache import absorb_entries, open_oracle, persistent_cache_path
+
+logger = logging.getLogger("repro.parallel")
 
 #: Per-process worker state, populated by the pool initializers.
 _STATE: dict = {}
+
+#: Recovery defaults (env-overridable; see module docstring).
+DEFAULT_CHUNK_TIMEOUT = 300.0
+DEFAULT_CHUNK_RETRIES = 2
+DEFAULT_RETRY_BACKOFF = 0.05
+
+
+class WorkerCrash(RuntimeError):
+    """A pool worker died while a chunk was outstanding."""
+
+
+class ChunkTimeout(RuntimeError):
+    """A chunk exceeded the per-chunk deadline."""
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -49,12 +76,33 @@ def resolve_jobs(jobs: Optional[int]) -> int:
 def start_method() -> str:
     """The multiprocessing start method: ``REPRO_MP_START`` env override,
     else fork where available (cheap) falling back to spawn.  All worker
-    entry points are module-level and spawn-safe either way."""
+    entry points are module-level and spawn-safe either way.
+
+    An invalid override raises immediately with the valid choices —
+    previously it surfaced later as an opaque ``multiprocessing``
+    failure (or was silently ignored).
+    """
     methods = get_all_start_methods()
     want = os.environ.get("REPRO_MP_START")
-    if want and want in methods:
+    if want:
+        if want not in methods:
+            raise ValueError(
+                f"REPRO_MP_START={want!r} is not a supported multiprocessing"
+                f" start method on this platform; choose from {sorted(methods)}"
+            )
         return want
     return "fork" if "fork" in methods else "spawn"
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        logger.warning("ignoring non-numeric %s=%r", name, raw)
+        return default
 
 
 def _chunks(bits: Sequence[int], size: int) -> List[List[int]]:
@@ -75,6 +123,127 @@ def _worker_oracle_delta() -> float:
 
 
 # ----------------------------------------------------------------------
+# Resilient chunk execution
+# ----------------------------------------------------------------------
+def _watched_get(pool, async_result, timeout: float, tick: float = 0.05):
+    """``async_result.get`` with dead-worker detection.
+
+    Polls in short ticks so a crashed worker is noticed within ~``tick``
+    seconds rather than only at the chunk deadline.  The stdlib pool's
+    maintenance thread replaces dead workers (changing the pid set) but
+    silently loses whatever chunk the dead worker held, which would hang
+    a plain blocking ``get`` forever.
+    """
+    deadline = time.monotonic() + timeout
+    known_pids = {p.pid for p in pool._pool}
+    while True:
+        remaining = deadline - time.monotonic()
+        try:
+            return async_result.get(max(0.001, min(tick, remaining)))
+        except MPTimeoutError:
+            procs = list(pool._pool)
+            pids = {p.pid for p in procs}
+            crashed = pids != known_pids or any(
+                p.exitcode not in (None, 0) for p in procs
+            )
+            if crashed:
+                raise WorkerCrash(
+                    "a pool worker died while its chunk was outstanding"
+                ) from None
+            if time.monotonic() >= deadline:
+                raise ChunkTimeout(
+                    f"chunk exceeded the {timeout:.1f}s deadline"
+                ) from None
+
+
+def run_chunks(
+    worker_fn: Callable,
+    tasks: Sequence,
+    fallback: Callable,
+    *,
+    jobs: int,
+    initializer: Callable,
+    initargs: tuple,
+    label: str = "sweep",
+) -> Iterator:
+    """Yield ``worker_fn(task)`` results in task order, surviving failures.
+
+    Recovery ladder, per chunk:
+
+    1. worker crash / chunk deadline / worker-raised exception — retry
+       with exponential backoff; crashes and timeouts also terminate and
+       respawn the whole pool (siblings of a dead worker may be wedged
+       on the same cause) and resubmit every unconsumed chunk;
+    2. after ``REPRO_CHUNK_RETRIES`` failed attempts the chunk is
+       declared poison and computed in-process via ``fallback`` — the
+       parent's serial code path, which shares none of the worker
+       machinery.
+
+    Results are yielded strictly in task order, so callers' merges stay
+    bit-identical to the serial sweep regardless of what failed.
+    """
+    ctx = get_context(start_method())
+    timeout = _env_float("REPRO_CHUNK_TIMEOUT", DEFAULT_CHUNK_TIMEOUT)
+    retries = int(_env_float("REPRO_CHUNK_RETRIES", DEFAULT_CHUNK_RETRIES))
+    backoff = _env_float("REPRO_RETRY_BACKOFF", DEFAULT_RETRY_BACKOFF)
+
+    def spawn():
+        return ctx.Pool(
+            processes=jobs, initializer=initializer, initargs=initargs
+        )
+
+    pool = spawn()
+    asyncs = [pool.apply_async(worker_fn, (t,)) for t in tasks]
+    attempts = [0] * len(tasks)
+    try:
+        for i in range(len(tasks)):
+            while True:
+                try:
+                    result = _watched_get(pool, asyncs[i], timeout)
+                    break
+                except Exception as e:
+                    attempts[i] += 1
+                    broken = isinstance(e, (WorkerCrash, ChunkTimeout))
+                    if attempts[i] > retries:
+                        logger.warning(
+                            "%s: chunk %d/%d poison after %d attempts (%s); "
+                            "computing in-process",
+                            label, i + 1, len(tasks), attempts[i], e,
+                        )
+                        result = fallback(tasks[i])
+                        if broken:
+                            pool.terminate()
+                            pool.join()
+                            pool = spawn()
+                            for j in range(i + 1, len(tasks)):
+                                asyncs[j] = pool.apply_async(
+                                    worker_fn, (tasks[j],)
+                                )
+                        break
+                    delay = backoff * (2 ** (attempts[i] - 1))
+                    logger.warning(
+                        "%s: chunk %d/%d failed (%s); retry %d/%d in %.2fs",
+                        label, i + 1, len(tasks), e,
+                        attempts[i], retries, delay,
+                    )
+                    time.sleep(delay)
+                    if broken:
+                        pool.terminate()
+                        pool.join()
+                        pool = spawn()
+                        for j in range(i, len(tasks)):
+                            asyncs[j] = pool.apply_async(
+                                worker_fn, (tasks[j],)
+                            )
+                    else:
+                        asyncs[i] = pool.apply_async(worker_fn, (tasks[i],))
+            yield result
+    finally:
+        pool.terminate()
+        pool.join()
+
+
+# ----------------------------------------------------------------------
 # Constraint generation
 # ----------------------------------------------------------------------
 def _init_gen_worker(fn_name, family, cache_path, max_prec) -> None:
@@ -92,6 +261,8 @@ def _init_gen_worker(fn_name, family, cache_path, max_prec) -> None:
 def _gen_chunk(task):
     from ..funcs.base import chunk_outcomes
 
+    maybe_crash("worker.crash")
+    maybe_sleep("chunk.slow")
     level, bits = task
     pipeline = _STATE["pipeline"]
     fmt = pipeline.family.formats[level]
@@ -113,6 +284,8 @@ def shard_outcomes(
     Returns ``(outcomes, worker_oracle_seconds)``; the parent pipeline's
     oracle is seeded with every result the workers resolved.
     """
+    from ..funcs.base import chunk_outcomes
+
     fam = pipeline.family
     tasks: List[Tuple[int, List[int]]] = []
     level_end: List[int] = []
@@ -129,33 +302,46 @@ def shard_outcomes(
             tasks.append((level, chunk))
         level_end.append(len(tasks))
 
-    ctx = get_context(start_method())
+    def fallback(task):
+        # Poison chunk: compute with the parent's own pipeline+oracle.
+        # The parent oracle records results directly (no shipping) and
+        # its Ziv time is already counted by the caller's parent-side
+        # delta, so entries/seconds are empty here.
+        level, bits = task
+        fmt = fam.formats[level]
+        outs = chunk_outcomes(
+            pipeline, level, [FPValue(fmt, b) for b in bits]
+        )
+        return outs, [], 0.0
+
     outcomes: list = []
     oracle_seconds = 0.0
-    with ctx.Pool(
-        processes=jobs,
+    done_levels = 0
+    results = run_chunks(
+        _gen_chunk,
+        tasks,
+        fallback,
+        jobs=jobs,
         initializer=_init_gen_worker,
         initargs=(
             pipeline.name, fam,
             persistent_cache_path(pipeline.oracle),
             pipeline.oracle.max_prec,
         ),
-    ) as pool:
-        done_levels = 0
-        for i, (chunk_out, entries, secs) in enumerate(
-            pool.imap(_gen_chunk, tasks, chunksize=1)
-        ):
-            outcomes.extend(chunk_out)
-            absorb_entries(pipeline.oracle, entries)
-            oracle_seconds += secs
-            while done_levels < len(level_end) and i + 1 == level_end[done_levels]:
-                if progress:
-                    fmt = fam.formats[done_levels]
-                    progress(
-                        f"{pipeline.name}: level {done_levels}"
-                        f" ({fmt.display_name}) reduced [{jobs} jobs]"
-                    )
-                done_levels += 1
+        label=f"generate:{pipeline.name}",
+    )
+    for i, (chunk_out, entries, secs) in enumerate(results):
+        outcomes.extend(chunk_out)
+        absorb_entries(pipeline.oracle, entries)
+        oracle_seconds += secs
+        while done_levels < len(level_end) and i + 1 == level_end[done_levels]:
+            if progress:
+                fmt = fam.formats[done_levels]
+                progress(
+                    f"{pipeline.name}: level {done_levels}"
+                    f" ({fmt.display_name}) reduced [{jobs} jobs]"
+                )
+            done_levels += 1
     return outcomes, oracle_seconds
 
 
@@ -178,6 +364,8 @@ def _init_verify_worker(spec, cache_path, max_prec) -> None:
 def _verify_chunk(bits):
     from ..verify.exhaustive import verify_exhaustive
 
+    maybe_crash("worker.crash")
+    maybe_sleep("chunk.slow")
     library, fn, fmt, level, modes, canonical_zeros, max_recorded = _STATE[
         "verify"
     ]
@@ -217,7 +405,7 @@ def shard_verify(
     in chunk order and truncate to ``max_recorded_failures`` — exactly
     the serial report.
     """
-    from ..verify.exhaustive import Failure, VerificationReport
+    from ..verify.exhaustive import Failure, VerificationReport, verify_exhaustive
 
     bits = [
         v.bits for v in (inputs if inputs is not None else all_finite(fmt))
@@ -227,9 +415,31 @@ def shard_verify(
     report = VerificationReport(library.label, fn, fmt)
     report.by_mode = {m: 0 for m in modes}
     t0 = time.perf_counter()
-    ctx = get_context(start_method())
-    with ctx.Pool(
-        processes=jobs,
+
+    def fallback(chunk_bits):
+        # Poison chunk: verify in-process with the parent's oracle.
+        sec0 = oracle.stats.seconds
+        rep = verify_exhaustive(
+            library, fn, fmt, level, oracle, modes,
+            inputs=[FPValue(fmt, b) for b in chunk_bits],
+            canonical_zeros=canonical_zeros,
+            max_recorded_failures=max_recorded_failures,
+        )
+        failures = [
+            (f.input_bits, f.mode.value, f.got_bits, f.want_bits)
+            for f in rep.failures
+        ]
+        by_mode = {m.value: n for m, n in rep.by_mode.items()}
+        return (
+            rep.total_checks, rep.wrong, by_mode, failures,
+            [], oracle.stats.seconds - sec0,
+        )
+
+    results = run_chunks(
+        _verify_chunk,
+        tasks,
+        fallback,
+        jobs=jobs,
         initializer=_init_verify_worker,
         initargs=(
             (
@@ -239,20 +449,19 @@ def shard_verify(
             persistent_cache_path(oracle),
             oracle.max_prec,
         ),
-    ) as pool:
-        for total, wrong, by_mode, failures, entries, secs in pool.imap(
-            _verify_chunk, tasks, chunksize=1
-        ):
-            report.total_checks += total
-            report.wrong += wrong
-            for mode_value, n in by_mode.items():
-                report.by_mode[RoundingMode(mode_value)] += n
-            for input_bits, mode_value, got, want in failures:
-                if len(report.failures) < max_recorded_failures:
-                    report.failures.append(
-                        Failure(input_bits, RoundingMode(mode_value), got, want)
-                    )
-            absorb_entries(oracle, entries)
-            report.oracle_seconds += secs
+        label=f"verify:{fn}",
+    )
+    for total, wrong, by_mode, failures, entries, secs in results:
+        report.total_checks += total
+        report.wrong += wrong
+        for mode_value, n in by_mode.items():
+            report.by_mode[RoundingMode(mode_value)] += n
+        for input_bits, mode_value, got, want in failures:
+            if len(report.failures) < max_recorded_failures:
+                report.failures.append(
+                    Failure(input_bits, RoundingMode(mode_value), got, want)
+                )
+        absorb_entries(oracle, entries)
+        report.oracle_seconds += secs
     report.wall_seconds = time.perf_counter() - t0
     return report

@@ -1,0 +1,58 @@
+"""Resilience layer: fault injection, circuit breaking, checkpointing.
+
+Long-running generation sweeps and the public-facing evaluation server
+both need to degrade gracefully instead of falling over.  This package
+holds the three orthogonal pieces the rest of the codebase threads
+through its recovery paths:
+
+* :mod:`repro.resilience.faults` — a deterministic, seedable
+  fault-injection harness activated by the ``REPRO_FAULTS`` environment
+  variable.  Chaos tests drive the *real* recovery code paths (worker
+  respawn, cache quarantine, client reconnect) rather than mocks.
+* :mod:`repro.resilience.breaker` — a small circuit breaker used by the
+  serving tier to shed oracle-fallback work when its error/latency
+  budget is blown.
+* :mod:`repro.resilience.checkpoint` — sidecar-JSON checkpointing of
+  generation progress so a killed run can ``--resume`` and produce a
+  byte-identical artifact.
+"""
+
+from .breaker import CircuitBreaker
+from .checkpoint import (
+    SearchCheckpoint,
+    checkpoint_path_for,
+    delete_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from .faults import (
+    FaultSpec,
+    InjectedFault,
+    active_injector,
+    corrupt_file,
+    maybe_crash,
+    maybe_fire,
+    maybe_raise,
+    maybe_sleep,
+    parse_fault_spec,
+    reset_injector,
+)
+
+__all__ = [
+    "CircuitBreaker",
+    "FaultSpec",
+    "InjectedFault",
+    "SearchCheckpoint",
+    "active_injector",
+    "checkpoint_path_for",
+    "corrupt_file",
+    "delete_checkpoint",
+    "load_checkpoint",
+    "maybe_crash",
+    "maybe_fire",
+    "maybe_raise",
+    "maybe_sleep",
+    "parse_fault_spec",
+    "reset_injector",
+    "save_checkpoint",
+]

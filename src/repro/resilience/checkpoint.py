@@ -1,0 +1,132 @@
+"""Sidecar-JSON checkpointing of generation progress.
+
+``generate_function`` writes a checkpoint after every completed
+sub-domain piece; a killed run restarted with ``resume=True`` (the CLI's
+``--resume``) skips the pieces it already solved and continues the
+search from the exact point it died — including the numpy RNG state and
+the deterministic search counters — so the resumed artifact is
+byte-identical to an uninterrupted run.
+
+Layout of ``<family>_<fn>.ckpt.json``::
+
+    {
+      "version": 1,
+      "params":  {...}          # search identity: fn/family/seed/budgets
+      "nsplits": 2,             # sub-domain attempt in progress
+      "pieces":  [{...}, ...],  # completed pieces (artifact piece format)
+      "failure_counts": [0, 1], # per completed piece
+      "rng_state": {...},       # numpy bit-generator state
+      "stats": {...}            # deterministic counters so far
+    }
+
+A checkpoint only resumes when its ``params`` match the live call
+exactly (same function, family, seed, term/sub-domain/special budgets
+and constraint count); anything else — missing file, corrupt JSON,
+parameter drift, future version — is ignored with a warning and the
+search starts from scratch.  Writes are atomic (temp file + rename) so a
+crash mid-checkpoint can never leave a half-written sidecar.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+logger = logging.getLogger("repro.resilience")
+
+CHECKPOINT_VERSION = 1
+
+
+@dataclass
+class SearchCheckpoint:
+    """Progress of one ``generate_function`` search."""
+
+    params: Dict[str, object]
+    nsplits: int = 1
+    pieces: List[dict] = field(default_factory=list)
+    failure_counts: List[int] = field(default_factory=list)
+    rng_state: Optional[dict] = None
+    stats: Dict[str, int] = field(default_factory=dict)
+
+
+def checkpoint_path_for(artifact_path: Union[str, Path]) -> Path:
+    """The sidecar path next to an artifact: ``x.json`` -> ``x.ckpt.json``."""
+    p = Path(artifact_path)
+    return p.with_name(p.stem + ".ckpt.json")
+
+
+def save_checkpoint(path: Union[str, Path], ckpt: SearchCheckpoint) -> None:
+    """Atomically write one checkpoint (temp file + rename)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    data = {
+        "version": CHECKPOINT_VERSION,
+        "params": ckpt.params,
+        "nsplits": ckpt.nsplits,
+        "pieces": ckpt.pieces,
+        "failure_counts": ckpt.failure_counts,
+        "rng_state": ckpt.rng_state,
+        "stats": ckpt.stats,
+    }
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w") as f:
+        json.dump(data, f)
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
+
+
+def load_checkpoint(
+    path: Union[str, Path], params: Dict[str, object]
+) -> Optional[SearchCheckpoint]:
+    """Load a checkpoint matching ``params``, or None.
+
+    Corrupt, stale (parameter mismatch) or future-versioned sidecars are
+    ignored with a warning — resume must never be *worse* than starting
+    over.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        with open(path) as f:
+            data = json.load(f)
+        if data.get("version") != CHECKPOINT_VERSION:
+            logger.warning(
+                "ignoring checkpoint %s: unsupported version %r",
+                path, data.get("version"),
+            )
+            return None
+        ckpt = SearchCheckpoint(
+            params=data["params"],
+            nsplits=int(data["nsplits"]),
+            pieces=list(data["pieces"]),
+            failure_counts=[int(n) for n in data["failure_counts"]],
+            rng_state=data.get("rng_state"),
+            stats=dict(data.get("stats", {})),
+        )
+    except (OSError, ValueError, KeyError, TypeError) as e:
+        logger.warning("ignoring unreadable checkpoint %s: %s", path, e)
+        return None
+    if ckpt.params != params:
+        logger.warning(
+            "ignoring checkpoint %s: search parameters changed "
+            "(checkpoint %r vs run %r)", path, ckpt.params, params,
+        )
+        return None
+    if len(ckpt.pieces) != len(ckpt.failure_counts) or ckpt.rng_state is None:
+        logger.warning("ignoring inconsistent checkpoint %s", path)
+        return None
+    return ckpt
+
+
+def delete_checkpoint(path: Union[str, Path]) -> None:
+    """Remove a finished run's sidecar (missing file is fine)."""
+    try:
+        os.unlink(path)
+    except FileNotFoundError:
+        pass

@@ -15,6 +15,7 @@ See the README's "Serving" section for the wire protocol.
 from .evaluator import (
     BatchEvaluator,
     BatchResult,
+    OracleUnavailable,
     TIER_ORACLE,
     TIER_SCALAR,
     TIER_VECTOR,
@@ -26,6 +27,8 @@ from .server import (
     BatchingDispatcher,
     DEFAULT_BATCH_WINDOW,
     DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_PENDING,
+    DEFAULT_REQUEST_DEADLINE,
     ServeClient,
     ServeServer,
     ServerThread,
@@ -38,7 +41,10 @@ __all__ = [
     "BatchingDispatcher",
     "DEFAULT_BATCH_WINDOW",
     "DEFAULT_MAX_BATCH",
+    "DEFAULT_MAX_PENDING",
+    "DEFAULT_REQUEST_DEADLINE",
     "Histogram",
+    "OracleUnavailable",
     "ServeClient",
     "ServeServer",
     "ServerMetrics",

@@ -29,6 +29,15 @@ still guarantees the correctly rounded answer:
 The tier that produced each result is reported per element, so callers
 (and the ``stats`` endpoint) can see degradation rather than silently
 paying for it.
+
+The oracle tier sits behind a :class:`~repro.resilience.CircuitBreaker`:
+Ziv evaluations are orders of magnitude slower than the other tiers, so
+when they start erroring or blowing their latency budget the breaker
+opens and oracle-tier batches are *shed* with
+:class:`OracleUnavailable` (the server maps it to a structured
+``oracle_unavailable`` error) instead of queuing unbounded slow work.
+Vector/scalar tiers are never shed — their artifacts carry the
+correctness proof and their latency is bounded.
 """
 
 from __future__ import annotations
@@ -50,6 +59,8 @@ from ..libm.vround import (
     round_doubles_to_bits,
     supports_vector_rounding,
 )
+from ..resilience.breaker import CircuitBreaker
+from ..resilience.faults import maybe_raise, maybe_sleep
 from .metrics import ServerMetrics
 from .registry import ServingRegistry
 
@@ -57,6 +68,12 @@ from .registry import ServingRegistry
 TIER_VECTOR = "vector"
 TIER_SCALAR = "scalar"
 TIER_ORACLE = "oracle"
+
+
+class OracleUnavailable(RuntimeError):
+    """Oracle-tier work shed because its circuit breaker is open."""
+
+    code = "oracle_unavailable"
 
 
 def resolve_mode(mode: Union[str, RoundingMode]) -> RoundingMode:
@@ -107,9 +124,14 @@ class BatchEvaluator:
         self,
         registry: ServingRegistry,
         metrics: Optional[ServerMetrics] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ):
         self.registry = registry
         self.metrics = metrics or ServerMetrics()
+        #: Guards the oracle tier only; ``None`` disables shedding.
+        self.breaker = breaker if breaker is not None else CircuitBreaker(
+            failure_threshold=5, recovery_time=5.0, latency_budget=None
+        )
 
     # ------------------------------------------------------------------
     def evaluate(
@@ -154,20 +176,37 @@ class BatchEvaluator:
                 raw[i] = y
                 tiers[i] = TIER_SCALAR
         else:
+            if self.breaker is not None and not self.breaker.allow():
+                raise OracleUnavailable(
+                    f"no artifact for {fn!r} and the oracle-tier circuit "
+                    f"breaker is open; retry after its recovery window"
+                )
             pipe = reg.pipeline(fn)
-            for i in range(n):
-                x = float(xs[i])
-                # Structural specials come from the pipeline, which exists
-                # without any generated artifact; they also cover domain
-                # errors (log of non-positives) the oracle has no
-                # enclosure for.
-                y = pipe.special_value(x)
-                if y is None:
-                    v = reg.oracle.correctly_rounded(fn, Fraction(x), fmt, mode)
-                else:
-                    v = round_double_to(y, fmt, mode)
-                bits[i] = v.bits
-                raw[i] = v.to_float()
+            t_oracle = time.perf_counter()
+            try:
+                maybe_sleep("oracle.slow")
+                maybe_raise("oracle.error")
+                for i in range(n):
+                    x = float(xs[i])
+                    # Structural specials come from the pipeline, which
+                    # exists without any generated artifact; they also
+                    # cover domain errors (log of non-positives) the
+                    # oracle has no enclosure for.
+                    y = pipe.special_value(x)
+                    if y is None:
+                        v = reg.oracle.correctly_rounded(
+                            fn, Fraction(x), fmt, mode
+                        )
+                    else:
+                        v = round_double_to(y, fmt, mode)
+                    bits[i] = v.bits
+                    raw[i] = v.to_float()
+            except Exception:
+                if self.breaker is not None:
+                    self.breaker.record_failure(time.perf_counter() - t_oracle)
+                raise
+            if self.breaker is not None:
+                self.breaker.record_success(time.perf_counter() - t_oracle)
 
         result.bits = [int(b) for b in bits]
         result.raw = [float(r) for r in raw]

@@ -85,6 +85,8 @@ class ServerMetrics:
         self.inputs_by_fn: Dict[str, int] = {}
         self.results_by_tier: Dict[str, int] = {}
         self.errors = 0
+        self.overloaded = 0
+        self.deadline_exceeded = 0
         self.coalesced_flushes = 0
         self.coalesced_requests = 0
         self.batch_sizes = Histogram(BATCH_BOUNDS)
@@ -114,6 +116,18 @@ class ServerMetrics:
         with self._lock:
             self.errors += 1
 
+    def record_overload(self) -> None:
+        """A request shed by backpressure (bounded pending queue full)."""
+        with self._lock:
+            self.errors += 1
+            self.overloaded += 1
+
+    def record_deadline(self) -> None:
+        """A request cancelled at its deadline."""
+        with self._lock:
+            self.errors += 1
+            self.deadline_exceeded += 1
+
     def record_coalesce(self, n_requests: int) -> None:
         """One dispatcher flush that fused ``n_requests`` client requests."""
         with self._lock:
@@ -129,6 +143,8 @@ class ServerMetrics:
                 "inputs_by_fn": dict(self.inputs_by_fn),
                 "results_by_tier": dict(self.results_by_tier),
                 "errors": self.errors,
+                "overloaded": self.overloaded,
+                "deadline_exceeded": self.deadline_exceeded,
                 "coalesced_flushes": self.coalesced_flushes,
                 "coalesced_requests": self.coalesced_requests,
                 "batch_sizes": self.batch_sizes.snapshot(),

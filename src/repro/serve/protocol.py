@@ -23,6 +23,15 @@ pipelined and arrive out of order).  Operations:
 ``ping``
     Liveness probe.
 
+``health``
+    Readiness/degradation probe: overall ``status`` (``ok`` /
+    ``degraded`` / ``draining``), in-flight request count vs. the
+    pending bound, and the oracle-tier circuit breaker state.
+
+Error responses may carry a machine-readable ``code`` (``overloaded``,
+``deadline_exceeded``, ``oracle_unavailable``, ``shutting_down``) so
+clients can branch without parsing messages.
+
 Floats in responses use Python's JSON extension tokens (``NaN``,
 ``Infinity``); the bundled client parses them, and bit patterns are the
 authoritative payload regardless.
@@ -31,7 +40,7 @@ authoritative payload regardless.
 from __future__ import annotations
 
 import json
-from typing import Any, List
+from typing import Any, List, Optional
 
 from .evaluator import BatchResult
 
@@ -115,9 +124,19 @@ def eval_response(req_id: Any, result: BatchResult) -> dict:
     }
 
 
-def error_response(req_id: Any, message: str) -> dict:
-    """The failure response body (request id echoed when present)."""
-    return {"id": req_id, "ok": False, "error": message}
+def error_response(req_id: Any, message: str, code: Optional[str] = None) -> dict:
+    """The failure response body (request id echoed when present).
+
+    ``code`` is a stable machine-readable tag for failures clients are
+    expected to branch on: ``overloaded`` (backpressure shed),
+    ``deadline_exceeded`` (per-request deadline), ``oracle_unavailable``
+    (fallback-tier circuit breaker open), ``shutting_down`` (drain).
+    Plain protocol/validation errors carry no code.
+    """
+    resp = {"id": req_id, "ok": False, "error": message}
+    if code is not None:
+        resp["code"] = code
+    return resp
 
 
 def encode_response(obj: dict) -> bytes:

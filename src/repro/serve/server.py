@@ -17,6 +17,23 @@ itself as well as with other connections.
 :class:`ServerThread` runs the whole loop on a daemon thread for tests,
 CI smoke checks and notebook use; ``python -m repro serve`` runs it in
 the foreground.
+
+Resilience semantics (see DESIGN.md):
+
+* **Backpressure** — at most ``max_pending`` requests are admitted at
+  once; excess requests are *shed immediately* with a structured
+  ``overloaded`` error instead of queuing unbounded work.  An overloaded
+  server answers fast, it never hangs.
+* **Deadlines** — each admitted request is bounded by
+  ``request_deadline`` seconds (``asyncio.wait_for``); blowing it yields
+  a ``deadline_exceeded`` error.  Deadlines bound the client-visible
+  response; a batch already inside the evaluator runs to completion.
+* **Drain** — :meth:`ServeServer.aclose` stops accepting, flushes the
+  coalescing buckets, and awaits in-flight requests (bounded); requests
+  arriving mid-drain get a ``shutting_down`` error.
+* **Health** — the ``health`` op reports ``ok`` / ``degraded`` (oracle
+  breaker not closed) / ``draining`` plus the in-flight count and the
+  breaker snapshot, so probes never need to pay for an eval.
 """
 
 from __future__ import annotations
@@ -25,12 +42,14 @@ import asyncio
 import json
 import socket
 import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..fp.rounding import RoundingMode
-from .evaluator import BatchEvaluator, BatchResult, resolve_mode
+from ..resilience.faults import maybe_fire
+from .evaluator import BatchEvaluator, BatchResult, OracleUnavailable, resolve_mode
 from .metrics import ServerMetrics
 from .protocol import (
     ProtocolError,
@@ -46,6 +65,12 @@ from .registry import ServingRegistry
 #: scalar requests, short enough to be invisible next to network latency.
 DEFAULT_BATCH_WINDOW = 0.002
 DEFAULT_MAX_BATCH = 4096
+#: Default bound on concurrently admitted requests (backpressure).
+DEFAULT_MAX_PENDING = 256
+#: Default per-request deadline in seconds.
+DEFAULT_REQUEST_DEADLINE = 30.0
+#: How long :meth:`ServeServer.aclose` waits for in-flight requests.
+DRAIN_TIMEOUT = 5.0
 
 
 @dataclass
@@ -149,6 +174,8 @@ class ServeServer:
         *,
         max_batch: int = DEFAULT_MAX_BATCH,
         batch_window: float = DEFAULT_BATCH_WINDOW,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        request_deadline: float = DEFAULT_REQUEST_DEADLINE,
         metrics: Optional[ServerMetrics] = None,
     ):
         self.registry = registry
@@ -159,7 +186,13 @@ class ServeServer:
         self.dispatcher = BatchingDispatcher(
             self.evaluator, max_batch=max_batch, batch_window=batch_window
         )
+        self.max_pending = max_pending
+        self.request_deadline = request_deadline
         self._server: Optional[asyncio.AbstractServer] = None
+        self._inflight = 0
+        self._draining = False
+        #: Every in-flight request task, across connections (drain path).
+        self._tasks: set = set()
 
     # ------------------------------------------------------------------
     async def start(self) -> "ServeServer":
@@ -176,11 +209,27 @@ class ServeServer:
         return self._server.sockets[0].getsockname()[1]
 
     async def aclose(self) -> None:
-        """Stop accepting and flush pending batches."""
-        self.dispatcher.flush_all()
+        """Graceful drain: stop accepting, flush batches, await in-flight.
+
+        Requests that arrive while draining are answered with a
+        ``shutting_down`` error; requests already admitted get
+        :data:`DRAIN_TIMEOUT` seconds to finish before the transport is
+        torn down under them.
+        """
+        self._draining = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        self.dispatcher.flush_all()
+        if self._tasks:
+            try:
+                await asyncio.wait_for(
+                    asyncio.gather(*list(self._tasks), return_exceptions=True),
+                    DRAIN_TIMEOUT,
+                )
+            except asyncio.TimeoutError:
+                for task in self._tasks:
+                    task.cancel()
 
     async def serve_forever(self) -> None:
         """Run until cancelled."""
@@ -200,6 +249,13 @@ class ServeServer:
                     break
                 if not line.strip():
                     continue
+                if maybe_fire("socket.drop"):
+                    # Injected transport failure: drop the connection
+                    # abruptly, mid-request, without a response — the
+                    # client's reconnect path has to cope with exactly
+                    # this.
+                    writer.transport.abort()
+                    break
                 # Handle each request as its own task so a pipelining
                 # client's requests can coalesce with each other.
                 task = asyncio.ensure_future(
@@ -207,6 +263,8 @@ class ServeServer:
                 )
                 pending.add(task)
                 task.add_done_callback(pending.discard)
+                self._tasks.add(task)
+                task.add_done_callback(self._tasks.discard)
             if pending:
                 await asyncio.gather(*pending, return_exceptions=True)
         except (ConnectionResetError, BrokenPipeError):
@@ -234,8 +292,49 @@ class ServeServer:
         try:
             obj = parse_request(line)
             req_id = obj.get("id")
-            response = await self._dispatch(obj)
-            response.setdefault("id", req_id)
+            # Probes bypass admission control: health checks must keep
+            # answering on an overloaded or draining server.
+            if obj["op"] in ("ping", "health"):
+                response = await self._dispatch(obj)
+                response.setdefault("id", req_id)
+            elif self._draining:
+                self.metrics.record_error()
+                response = error_response(
+                    req_id, "server is shutting down", code="shutting_down"
+                )
+            elif self._inflight >= self.max_pending:
+                self.metrics.record_overload()
+                response = error_response(
+                    req_id,
+                    f"server overloaded: {self._inflight} requests in "
+                    f"flight (max_pending={self.max_pending}); retry later",
+                    code="overloaded",
+                )
+            else:
+                self._inflight += 1
+                try:
+                    response = await asyncio.wait_for(
+                        self._dispatch(obj), self.request_deadline
+                    )
+                finally:
+                    self._inflight -= 1
+                if loop.time() - t0 > self.request_deadline:
+                    # A batch blocking the loop can outlive its deadline
+                    # without wait_for ever firing; the deadline is part
+                    # of the response contract either way (gRPC
+                    # semantics: exceeded even if the work finished).
+                    raise asyncio.TimeoutError
+                response.setdefault("id", req_id)
+        except asyncio.TimeoutError:
+            self.metrics.record_deadline()
+            response = error_response(
+                req_id,
+                f"request exceeded the {self.request_deadline}s deadline",
+                code="deadline_exceeded",
+            )
+        except OracleUnavailable as e:
+            self.metrics.record_error()
+            response = error_response(req_id, str(e), code=e.code)
         except ProtocolError as e:
             self.metrics.record_error()
             response = error_response(req_id, str(e))
@@ -243,6 +342,14 @@ class ServeServer:
             self.metrics.record_error()
             msg = e.args[0] if e.args and isinstance(e.args[0], str) else str(e)
             response = error_response(req_id, msg)
+        except asyncio.CancelledError:
+            raise
+        except Exception as e:
+            # Whatever happens, the client gets *a* response: an
+            # unanswered request is a hang, which is the one failure mode
+            # the server must never have.
+            self.metrics.record_error()
+            response = error_response(req_id, f"internal error: {e}")
         self.metrics.record_request(loop.time() - t0)
         async with write_lock:
             writer.write(encode_response(response))
@@ -261,12 +368,34 @@ class ServeServer:
             )
             return eval_response(obj.get("id"), result)
         if op == "stats":
-            return {"ok": True, "stats": self.metrics.snapshot()}
+            stats = self.metrics.snapshot()
+            stats["breaker"] = self.evaluator.breaker.snapshot()
+            return {"ok": True, "stats": stats}
         if op == "info":
             return {"ok": True, "info": self.registry.describe()}
         if op == "ping":
             return {"ok": True, "pong": True}
+        if op == "health":
+            return {"ok": True, "health": self.health()}
         raise ProtocolError(f"unknown op {op!r}")
+
+    def health(self) -> dict:
+        """Readiness snapshot (the ``health`` op body; no eval cost)."""
+        breaker = self.evaluator.breaker.snapshot()
+        if self._draining:
+            status = "draining"
+        elif breaker["state"] != "closed":
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "inflight": self._inflight,
+            "max_pending": self.max_pending,
+            "request_deadline": self.request_deadline,
+            "draining": self._draining,
+            "breaker": breaker,
+        }
 
 
 class ServerThread:
@@ -345,31 +474,110 @@ class ServerThread:
 
 
 class ServeClient:
-    """Small synchronous client for the newline-JSON protocol."""
+    """Small synchronous client for the newline-JSON protocol.
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+    Transient transport failures (connection reset, server-side drop,
+    broken pipe) are retried transparently: the client reconnects with
+    exponential backoff — at most ``reconnect_attempts`` times per
+    request — and re-sends every request it has not yet seen a response
+    for.  Requests are idempotent (pure evaluation), so replaying them
+    is always safe.  Once the attempt budget is exhausted the underlying
+    ``ConnectionError`` propagates.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        *,
+        reconnect_attempts: int = 3,
+        reconnect_backoff: float = 0.05,
+    ):
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self.reconnect_attempts = max(0, int(reconnect_attempts))
+        self.reconnect_backoff = reconnect_backoff
+        #: Lifetime count of successful reconnects (observable in tests).
+        self.reconnects = 0
+        self._next_id = 0
+        self._responses: Dict[Any, dict] = {}
+        #: Requests sent but not yet answered, by id (replayed on
+        #: reconnect; insertion order preserves the original send order).
+        self._unanswered: Dict[Any, dict] = {}
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._connect()
+
+    # ------------------------------------------------------------------
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
         # One small JSON line per request: Nagle only adds latency here.
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._file = self._sock.makefile("rwb")
-        self._next_id = 0
-        self._responses: Dict[Any, dict] = {}
 
-    # ------------------------------------------------------------------
+    def _reconnect(self) -> None:
+        """Bounded reconnect-with-backoff, then replay unanswered requests."""
+        try:
+            self.close()
+        except OSError:
+            pass
+        last: Optional[Exception] = None
+        for attempt in range(self.reconnect_attempts):
+            if attempt:
+                time.sleep(self.reconnect_backoff * (2 ** (attempt - 1)))
+            try:
+                self._connect()
+                break
+            except OSError as e:
+                last = e
+        else:
+            raise ConnectionError(
+                f"could not reconnect to {self._host}:{self._port} after "
+                f"{self.reconnect_attempts} attempts"
+            ) from last
+        self.reconnects += 1
+        for obj in list(self._unanswered.values()):
+            self._write(obj)
+
+    def _write(self, obj: dict) -> None:
+        self._file.write((json.dumps(obj) + "\n").encode())
+        self._file.flush()
+
     def _send(self, obj: dict) -> Any:
         self._next_id += 1
         obj.setdefault("id", self._next_id)
-        self._file.write((json.dumps(obj) + "\n").encode())
-        self._file.flush()
+        self._unanswered[obj["id"]] = obj
+        try:
+            self._write(obj)
+        except (ConnectionError, BrokenPipeError, OSError):
+            if not self.reconnect_attempts:
+                raise
+            self._reconnect()  # replays obj along with older unanswered
         return obj["id"]
 
     def _recv(self, want_id: Any) -> dict:
+        drops = 0
         while want_id not in self._responses:
-            line = self._file.readline()
-            if not line:
-                raise ConnectionError("server closed the connection")
+            try:
+                line = self._file.readline()
+                if not line:
+                    raise ConnectionError("server closed the connection")
+            except (ConnectionError, BrokenPipeError, socket.timeout, OSError):
+                # Bound reconnects per call too, so a connection that is
+                # dropped on *every* replay cannot retry forever.
+                drops += 1
+                if drops > self.reconnect_attempts:
+                    raise
+                self._reconnect()
+                continue
             resp = json.loads(line)
-            self._responses[resp.get("id")] = resp
+            rid = resp.get("id")
+            self._responses[rid] = resp
+            self._unanswered.pop(rid, None)
         return self._responses.pop(want_id)
 
     def request(self, obj: dict) -> dict:
@@ -412,6 +620,10 @@ class ServeClient:
         """Liveness probe."""
         return bool(self.request({"op": "ping"}).get("pong"))
 
+    def health(self) -> dict:
+        """The server's readiness/degradation snapshot."""
+        return self.request({"op": "health"})["health"]
+
     def close(self) -> None:
         """Close the connection."""
         try:
@@ -435,6 +647,8 @@ def start_server_thread(
     port: int = 0,
     max_batch: int = DEFAULT_MAX_BATCH,
     batch_window: float = DEFAULT_BATCH_WINDOW,
+    max_pending: int = DEFAULT_MAX_PENDING,
+    request_deadline: float = DEFAULT_REQUEST_DEADLINE,
 ) -> ServerThread:
     """Build a registry and serve it from a daemon thread (convenience)."""
     from ..mp.oracle import FUNCTION_NAMES
@@ -448,4 +662,6 @@ def start_server_thread(
         port=port,
         max_batch=max_batch,
         batch_window=batch_window,
+        max_pending=max_pending,
+        request_deadline=request_deadline,
     ).start()

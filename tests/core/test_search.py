@@ -11,7 +11,14 @@ from repro.core import (
     generate_function,
     runtime_interval_failures,
 )
-from repro.core.search import _split_by_r
+from repro.core.search import (
+    GeneratedFunction,
+    GenerationError,
+    Piece,
+    _absorb_runtime_failures,
+    _split_by_r,
+)
+from repro.core.polynomial import ProgressivePolynomial
 from repro.fp import IEEE_MODES, RoundingMode, all_finite, round_real
 from repro.funcs import TINY_CONFIG, make_pipeline
 
@@ -84,6 +91,57 @@ class TestGenerateFunction:
             sum(len(cs) for cs in p.poly.coefficients) for p in gen.pieces
         )
         assert gen.storage_bytes == 8 * total_coeffs
+
+
+class TestGenerationError:
+    """The search's failure paths: budget exhaustion must raise, not loop."""
+
+    def test_term_budget_exhaustion_raises(self, oracle):
+        # exp2 on the tiny family cannot fit a single term even with the
+        # maximum 4 sub-domains: phase 1 of _try_config never satisfies
+        # the system, every nsplits attempt fails, and the outer loop
+        # must surface a GenerationError naming the budgets.
+        pipe = make_pipeline("exp2", TINY_CONFIG, oracle)
+        with pytest.raises(GenerationError, match=r"within 1 terms and 1 sub-domains"):
+            generate_function(pipe, max_terms=1, max_subdomains=1)
+
+    def test_exhaustion_respects_subdomain_budget(self, oracle):
+        pipe = make_pipeline("exp2", TINY_CONFIG, oracle)
+        with pytest.raises(GenerationError, match=r"4 sub-domains"):
+            generate_function(pipe, max_terms=1, max_subdomains=4)
+
+    def _zeroed(self, gen):
+        """A copy of ``gen`` whose every coefficient is zero: the runtime
+        re-check fails on nearly every input."""
+        pieces = []
+        for p in gen.pieces:
+            poly = ProgressivePolynomial(
+                shapes=p.poly.shapes,
+                coefficients=tuple(
+                    tuple(0.0 for _ in group) for group in p.poly.coefficients
+                ),
+                term_counts=p.poly.term_counts,
+            )
+            pieces.append(Piece(poly, p.r_max))
+        return GeneratedFunction(gen.name, gen.family_name, pieces, {})
+
+    def test_runtime_failure_cap_raises(self, tiny_generated, oracle):
+        pipe, gen = tiny_generated("exp2")
+        broken = self._zeroed(gen)
+        constraints, _ = collect_constraints(pipe)
+        with pytest.raises(GenerationError, match=r"exceed the special-case budget"):
+            _absorb_runtime_failures(pipe, broken, constraints, budget=4)
+
+    def test_runtime_failures_within_budget_become_specials(
+        self, tiny_generated, oracle
+    ):
+        # The clean artifact has zero residual failures, so any budget
+        # absorbs them and the specials dict is unchanged.
+        pipe, gen = tiny_generated("log2")
+        constraints, _ = collect_constraints(pipe)
+        before = dict(gen.specials)
+        _absorb_runtime_failures(pipe, gen, constraints, budget=0)
+        assert gen.specials == before
 
 
 class TestSplitByR:

@@ -1,0 +1,34 @@
+"""Chaos-suite fixtures: scoped fault activation via ``REPRO_FAULTS``.
+
+Every test that injects faults goes through the ``faults`` fixture so the
+env var — and the cached per-process injector state — is guaranteed to be
+cleared afterwards, even when the test fails.  Pool workers inherit the
+environment at spawn time, so setting the spec in the parent is all a
+multi-process chaos test needs.
+"""
+
+import pytest
+
+from repro.resilience.faults import ENV_VAR, reset_injector
+
+
+@pytest.fixture
+def faults(monkeypatch):
+    """Factory activating a fault spec for the duration of one test."""
+
+    def activate(spec: str) -> None:
+        reset_injector()
+        monkeypatch.setenv(ENV_VAR, spec)
+
+    yield activate
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    reset_injector()
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_faults(monkeypatch):
+    """Chaos tests must opt in explicitly; nothing leaks between tests."""
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    reset_injector()
+    yield
+    reset_injector()

@@ -1,0 +1,133 @@
+"""Oracle-cache self-healing: quarantine, schema versioning, degraded flush."""
+
+import sqlite3
+from fractions import Fraction
+
+from repro.fp import FPValue, RoundingMode, T8
+from repro.parallel.cache import SCHEMA_VERSION, OracleCache, open_oracle
+from repro.resilience.faults import corrupt_file
+
+
+def _put_get(cache):
+    x = Fraction(1, 2)
+    cache.put("exp2", x, T8, RoundingMode.RNE, FPValue(T8, 0x42))
+    cache.flush()
+    got = cache.get("exp2", x, T8, RoundingMode.RNE)
+    assert got is not None and got.bits == 0x42
+
+
+class TestQuarantine:
+    def test_garbage_file_quarantined_and_rebuilt(self, tmp_path):
+        path = tmp_path / "oracle.sqlite"
+        path.write_bytes(b"this is not a sqlite database at all" * 20)
+        cache = OracleCache(str(path))
+        assert cache.quarantined is not None
+        assert "corrupt-" in cache.quarantined
+        # The old bytes were moved aside, not destroyed.
+        assert b"not a sqlite database" in open(cache.quarantined, "rb").read()
+        _put_get(cache)  # fresh cache is fully functional
+        cache.close()
+
+    def test_injected_corruption_heals(self, tmp_path, faults):
+        path = tmp_path / "oracle.sqlite"
+        with OracleCache(str(path)) as cache:
+            _put_get(cache)
+        faults("cache.corrupt:times=1")
+        cache = OracleCache(str(path))
+        assert cache.quarantined is not None
+        assert cache.get("exp2", Fraction(1, 2), T8, RoundingMode.RNE) is None
+        _put_get(cache)
+        cache.close()
+
+    def test_clean_reopen_is_not_quarantined(self, tmp_path):
+        path = tmp_path / "oracle.sqlite"
+        with OracleCache(str(path)) as cache:
+            _put_get(cache)
+        with OracleCache(str(path)) as cache:
+            assert cache.quarantined is None
+            got = cache.get("exp2", Fraction(1, 2), T8, RoundingMode.RNE)
+            assert got is not None and got.bits == 0x42
+
+    def test_quarantine_names_do_not_collide(self, tmp_path):
+        path = tmp_path / "oracle.sqlite"
+        seen = set()
+        for _ in range(2):
+            corrupt_file(str(path))
+            cache = OracleCache(str(path))
+            assert cache.quarantined not in seen
+            seen.add(cache.quarantined)
+            cache.close()
+
+
+class TestSchemaVersion:
+    def test_fresh_cache_is_stamped(self, tmp_path):
+        path = tmp_path / "oracle.sqlite"
+        OracleCache(str(path)).close()
+        conn = sqlite3.connect(str(path))
+        assert conn.execute("PRAGMA user_version").fetchone()[0] == SCHEMA_VERSION
+        conn.close()
+
+    def test_version_zero_adopted_in_place(self, tmp_path):
+        path = tmp_path / "oracle.sqlite"
+        conn = sqlite3.connect(str(path))
+        conn.execute(
+            "CREATE TABLE oracle (key TEXT PRIMARY KEY, bits TEXT NOT NULL)"
+        )
+        conn.execute("INSERT INTO oracle VALUES ('k', '7')")
+        conn.commit()
+        conn.close()
+        cache = OracleCache(str(path))
+        assert cache.quarantined is None  # pre-versioning file kept
+        assert len(cache) == 1
+        cache.close()
+
+    def test_future_version_quarantined(self, tmp_path):
+        path = tmp_path / "oracle.sqlite"
+        conn = sqlite3.connect(str(path))
+        conn.execute("CREATE TABLE oracle (key TEXT PRIMARY KEY, bits TEXT)")
+        conn.execute(f"PRAGMA user_version={SCHEMA_VERSION + 1}")
+        conn.commit()
+        conn.close()
+        cache = OracleCache(str(path))
+        assert cache.quarantined is not None
+        cache.close()
+
+    def test_wrong_table_shape_quarantined(self, tmp_path):
+        path = tmp_path / "oracle.sqlite"
+        conn = sqlite3.connect(str(path))
+        conn.execute("CREATE TABLE oracle (unrelated INTEGER)")
+        conn.commit()
+        conn.close()
+        cache = OracleCache(str(path))
+        assert cache.quarantined is not None
+        _put_get(cache)
+        cache.close()
+
+
+class TestDegradedFlush:
+    def test_injected_flush_failure_degrades_not_crashes(self, tmp_path, faults):
+        faults("cache.flush:times=1")
+        cache = OracleCache(str(tmp_path / "oracle.sqlite"))
+        cache.put("exp2", Fraction(1, 2), T8, RoundingMode.RNE, FPValue(T8, 1))
+        cache.flush()  # injected failure
+        assert cache.degraded is True
+        # Entries stay pending (and readable) while degraded.
+        got = cache.get("exp2", Fraction(1, 2), T8, RoundingMode.RNE)
+        assert got is not None and got.bits == 1
+        cache.flush()  # fault exhausted: persistence recovers
+        assert cache.degraded is False
+        cache.close()
+
+        with OracleCache(str(tmp_path / "oracle.sqlite")) as reopened:
+            got = reopened.get("exp2", Fraction(1, 2), T8, RoundingMode.RNE)
+            assert got is not None and got.bits == 1
+
+    def test_open_oracle_survives_corrupt_cache(self, tmp_path):
+        path = tmp_path / "oracle.sqlite"
+        corrupt_file(str(path))
+        oracle = open_oracle(str(path))
+        v = oracle.correctly_rounded(
+            "exp2", Fraction(1, 2), T8, RoundingMode.RNE
+        )
+        assert v is not None
+        oracle.close()

@@ -1,0 +1,134 @@
+"""Checkpoint-resume: a killed generation run continues byte-identically."""
+
+import json
+
+import pytest
+
+from repro import api
+from repro.resilience.checkpoint import (
+    CHECKPOINT_VERSION,
+    SearchCheckpoint,
+    checkpoint_path_for,
+    delete_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.resilience.faults import InjectedFault
+
+PARAMS = {"fn": "log2", "family": "tiny", "seed": 0}
+
+
+def _ckpt(**kw):
+    kw.setdefault("params", dict(PARAMS))
+    kw.setdefault("nsplits", 2)
+    kw.setdefault("pieces", [{"fake": 1}])
+    kw.setdefault("failure_counts", [0])
+    kw.setdefault("rng_state", {"state": 123})
+    kw.setdefault("stats", {"lp_solves": 4})
+    return SearchCheckpoint(**kw)
+
+
+class TestSidecarFile:
+    def test_path_naming(self, tmp_path):
+        assert checkpoint_path_for(tmp_path / "tiny_log2.json") == (
+            tmp_path / "tiny_log2.ckpt.json"
+        )
+
+    def test_save_load_roundtrip(self, tmp_path):
+        path = tmp_path / "x.ckpt.json"
+        save_checkpoint(path, _ckpt())
+        got = load_checkpoint(path, dict(PARAMS))
+        assert got is not None
+        assert got.nsplits == 2
+        assert got.pieces == [{"fake": 1}]
+        assert got.failure_counts == [0]
+        assert got.rng_state == {"state": 123}
+        assert got.stats == {"lp_solves": 4}
+
+    def test_missing_file_is_none(self, tmp_path):
+        assert load_checkpoint(tmp_path / "nope.ckpt.json", PARAMS) is None
+
+    def test_param_drift_ignored(self, tmp_path):
+        path = tmp_path / "x.ckpt.json"
+        save_checkpoint(path, _ckpt())
+        drifted = dict(PARAMS, seed=1)
+        assert load_checkpoint(path, drifted) is None
+
+    def test_corrupt_json_ignored(self, tmp_path):
+        path = tmp_path / "x.ckpt.json"
+        path.write_text("{not json")
+        assert load_checkpoint(path, PARAMS) is None
+
+    def test_future_version_ignored(self, tmp_path):
+        path = tmp_path / "x.ckpt.json"
+        save_checkpoint(path, _ckpt())
+        data = json.loads(path.read_text())
+        data["version"] = CHECKPOINT_VERSION + 1
+        path.write_text(json.dumps(data))
+        assert load_checkpoint(path, PARAMS) is None
+
+    def test_inconsistent_checkpoint_ignored(self, tmp_path):
+        path = tmp_path / "x.ckpt.json"
+        save_checkpoint(path, _ckpt(failure_counts=[0, 1]))  # 1 piece, 2 counts
+        assert load_checkpoint(path, PARAMS) is None
+
+    def test_delete_is_idempotent(self, tmp_path):
+        path = tmp_path / "x.ckpt.json"
+        save_checkpoint(path, _ckpt())
+        delete_checkpoint(path)
+        assert not path.exists()
+        delete_checkpoint(path)  # missing file is fine
+
+
+class TestCrashAndResume:
+    def test_resumed_artifact_is_byte_identical(self, tmp_path, faults):
+        ref_dir = tmp_path / "ref"
+        run_dir = tmp_path / "run"
+        _, ref_path = api.generate("log2", "tiny", out_dir=ref_dir)
+
+        # Kill the run right after its first piece checkpoint.
+        faults("search.crash:times=1")
+        with pytest.raises(InjectedFault):
+            api.generate("log2", "tiny", out_dir=run_dir)
+        ckpt = run_dir / "tiny_log2.ckpt.json"
+        assert ckpt.exists()
+
+        faults("")  # clear: the resumed run is fault-free
+        _, path = api.generate("log2", "tiny", out_dir=run_dir, resume=True)
+        assert path.read_bytes() == ref_path.read_bytes()
+        assert not ckpt.exists()  # sidecar cleaned up on success
+
+    def test_resume_without_checkpoint_regenerates(self, tmp_path):
+        ref_dir = tmp_path / "ref"
+        run_dir = tmp_path / "run"
+        _, ref_path = api.generate("log2", "tiny", out_dir=ref_dir)
+        _, path = api.generate("log2", "tiny", out_dir=run_dir, resume=True)
+        assert path.read_bytes() == ref_path.read_bytes()
+
+    def test_no_checkpoint_flag_leaves_no_sidecar(self, tmp_path, faults):
+        run_dir = tmp_path / "run"
+        # The crash site fires right after a checkpoint write; with
+        # checkpointing disabled it never triggers and no sidecar exists.
+        faults("search.crash:times=1")
+        _, path = api.generate(
+            "log2", "tiny", out_dir=run_dir, checkpoint=False
+        )
+        assert path.exists()
+        assert not (run_dir / "tiny_log2.ckpt.json").exists()
+
+    def test_stale_checkpoint_from_other_params_is_ignored(
+        self, tmp_path, faults
+    ):
+        run_dir = tmp_path / "run"
+        faults("search.crash:times=1")
+        with pytest.raises(InjectedFault):
+            api.generate("log2", "tiny", out_dir=run_dir)
+        faults("")
+        # Different seed: the sidecar must not resume, and the artifact
+        # must match a clean run at the new seed.
+        ref_dir = tmp_path / "ref"
+        _, ref_path = api.generate("log2", "tiny", out_dir=ref_dir, seed=1)
+        _, path = api.generate(
+            "log2", "tiny", out_dir=run_dir, seed=1, resume=True
+        )
+        assert path.read_bytes() == ref_path.read_bytes()

@@ -1,0 +1,137 @@
+"""The fault-injection harness itself: parsing, determinism, limits."""
+
+import pytest
+
+from repro.resilience.faults import (
+    FaultSpec,
+    InjectedFault,
+    active_injector,
+    corrupt_file,
+    maybe_fire,
+    maybe_raise,
+    maybe_sleep,
+    parse_fault_spec,
+    reset_injector,
+)
+
+
+class TestParse:
+    def test_full_spec(self):
+        specs = parse_fault_spec(
+            "worker.crash:p=0.5,seed=42,times=3;cache.corrupt:times=1"
+        )
+        assert set(specs) == {"worker.crash", "cache.corrupt"}
+        wc = specs["worker.crash"]
+        assert (wc.p, wc.seed, wc.times) == (0.5, 42, 3)
+        assert specs["cache.corrupt"].times == 1
+
+    def test_defaults(self):
+        spec = parse_fault_spec("oracle.slow")["oracle.slow"]
+        assert (spec.p, spec.seed, spec.times, spec.after) == (1.0, 0, None, 0)
+        assert spec.delay == 0.05
+
+    def test_delay_and_after(self):
+        spec = parse_fault_spec("chunk.slow:delay=1.5,after=2")["chunk.slow"]
+        assert spec.delay == 1.5
+        assert spec.after == 2
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "site:key",            # option without '='
+            "site:p=x",            # non-numeric value
+            "site:bogus=1",        # unknown option
+            ":p=1",                # empty site name
+        ],
+    )
+    def test_malformed_raises(self, bad):
+        with pytest.raises(ValueError):
+            parse_fault_spec(bad)
+
+    def test_empty_segments_skipped(self):
+        assert parse_fault_spec(";;a.b:times=1;;") .keys() == {"a.b"}
+
+
+class TestFaultSpec:
+    def _sequence(self, n=32, **kw):
+        spec = FaultSpec("s", **kw)
+        return [spec.should_fire() for _ in range(n)]
+
+    def test_seeded_sequences_reproduce(self):
+        assert self._sequence(p=0.5, seed=7) == self._sequence(p=0.5, seed=7)
+
+    def test_different_seeds_differ(self):
+        assert self._sequence(p=0.5, seed=0) != self._sequence(p=0.5, seed=1)
+
+    def test_p_one_always_fires(self):
+        assert all(self._sequence(p=1.0))
+
+    def test_p_zero_never_fires(self):
+        assert not any(self._sequence(p=0.0))
+
+    def test_times_caps_fires(self):
+        seq = self._sequence(p=1.0, times=3)
+        assert sum(seq) == 3 and seq[:3] == [True] * 3
+
+    def test_after_skips_initial_calls(self):
+        seq = self._sequence(p=1.0, after=5)
+        assert seq[:5] == [False] * 5 and all(seq[5:])
+
+    def test_after_does_not_consume_times(self):
+        spec = FaultSpec("s", p=1.0, after=2, times=1)
+        assert [spec.should_fire() for _ in range(4)] == [
+            False, False, True, False,
+        ]
+
+
+class TestInjectorLifecycle:
+    def test_unset_env_means_no_injector(self):
+        assert active_injector() is None
+        assert maybe_fire("worker.crash") is False
+        maybe_raise("worker.crash")  # no-op
+        maybe_sleep("worker.crash")  # no-op
+
+    def test_env_activates_and_counts(self, faults):
+        faults("a.b:times=1")
+        assert maybe_fire("a.b") is True
+        assert maybe_fire("a.b") is False  # times exhausted
+        assert maybe_fire("other.site") is False
+
+    def test_env_change_reparses(self, faults):
+        faults("a.b:times=1")
+        assert maybe_fire("a.b") is True
+        faults("c.d:times=1")
+        assert maybe_fire("a.b") is False
+        assert maybe_fire("c.d") is True
+
+    def test_reset_restores_counters(self, faults):
+        faults("a.b:times=1")
+        assert maybe_fire("a.b") is True
+        assert maybe_fire("a.b") is False
+        reset_injector()
+        assert maybe_fire("a.b") is True
+
+    def test_maybe_raise_fires(self, faults):
+        faults("boom.site")
+        with pytest.raises(InjectedFault):
+            maybe_raise("boom.site")
+
+    def test_malformed_env_fails_fast(self, faults):
+        faults("oops:nope")
+        with pytest.raises(ValueError):
+            maybe_fire("oops")
+
+
+class TestCorruptFile:
+    def test_clobbers_existing_header(self, tmp_path):
+        path = tmp_path / "f.bin"
+        path.write_bytes(b"SQLite format 3\x00" + b"x" * 1000)
+        corrupt_file(str(path))
+        data = path.read_bytes()
+        assert not data.startswith(b"SQLite format 3")
+        assert len(data) == 1016  # only the head is scribbled over
+
+    def test_creates_missing_file(self, tmp_path):
+        path = tmp_path / "new.bin"
+        corrupt_file(str(path))
+        assert path.read_bytes().startswith(b"\xde\xad\xbe\xef")

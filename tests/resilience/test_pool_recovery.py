@@ -1,0 +1,108 @@
+"""Pool recovery under injected failures: results stay bit-identical.
+
+Fault specs ride the environment into fork/spawn-started workers, so
+these tests exercise the *real* multi-process recovery ladder — retry
+with backoff, pool respawn after a dead worker, and the in-process
+fallback for poison chunks — never mocks.
+"""
+
+import pytest
+
+from repro.core import generate_function
+from repro.fp import IEEE_MODES, T8
+from repro.funcs import TINY_CONFIG, make_pipeline
+from repro.libm.baselines import GeneratedLibrary
+from repro.mp import Oracle
+from repro.parallel.pool import start_method
+from repro.verify import verify_exhaustive
+
+
+def _fingerprint(gen):
+    return (
+        [p.poly.coefficients for p in gen.pieces],
+        [p.poly.term_counts for p in gen.pieces],
+        [p.r_max for p in gen.pieces],
+        sorted(gen.specials.items()),
+        gen.stats.constraints,
+    )
+
+
+@pytest.fixture(scope="module")
+def clean_log2():
+    """Fault-free reference generation (serial: no pool involved)."""
+    return generate_function(make_pipeline("log2", TINY_CONFIG, Oracle()))
+
+
+class TestGenerationRecovery:
+    def test_sporadic_worker_crashes_recover(self, faults, clean_log2):
+        # Each (re)spawned worker crashes on ~40% of its chunk pickups,
+        # at most twice per process; retries + respawns must converge.
+        faults("worker.crash:p=0.4,seed=3,times=2")
+        gen = generate_function(
+            make_pipeline("log2", TINY_CONFIG, Oracle()), jobs=2
+        )
+        assert _fingerprint(gen) == _fingerprint(clean_log2)
+
+    def test_poison_chunks_fall_back_in_process(
+        self, faults, clean_log2, monkeypatch
+    ):
+        # Every worker dies on every chunk: nothing can succeed in the
+        # pool, so every chunk must be computed by the parent's serial
+        # fallback — and the merge must still be bit-identical.
+        monkeypatch.setenv("REPRO_CHUNK_RETRIES", "0")
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0.01")
+        faults("worker.crash")
+        gen = generate_function(
+            make_pipeline("log2", TINY_CONFIG, Oracle()), jobs=2
+        )
+        assert _fingerprint(gen) == _fingerprint(clean_log2)
+
+    def test_chunk_timeouts_recover(self, faults, clean_log2, monkeypatch):
+        # Workers stall well past the (shrunken) per-chunk deadline on
+        # their first chunk only; later chunks are fast.
+        monkeypatch.setenv("REPRO_CHUNK_TIMEOUT", "0.5")
+        monkeypatch.setenv("REPRO_CHUNK_RETRIES", "1")
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0.01")
+        faults("chunk.slow:delay=3.0,times=1")
+        gen = generate_function(
+            make_pipeline("log2", TINY_CONFIG, Oracle()), jobs=2
+        )
+        assert _fingerprint(gen) == _fingerprint(clean_log2)
+
+
+class TestVerifyRecovery:
+    def test_verify_matches_serial_under_crashes(self, faults, oracle):
+        pipe = make_pipeline("exp2", TINY_CONFIG, oracle)
+        gen = generate_function(pipe)
+        lib = GeneratedLibrary({"exp2": pipe}, {"exp2": gen}, label="rlibm-prog")
+        serial = verify_exhaustive(lib, "exp2", T8, 0, oracle, IEEE_MODES)
+        faults("worker.crash:p=0.4,seed=9,times=2")
+        sharded = verify_exhaustive(
+            lib, "exp2", T8, 0, Oracle(), IEEE_MODES, jobs=3
+        )
+        assert (sharded.total_checks, sharded.wrong) == (
+            serial.total_checks, serial.wrong,
+        )
+        assert sharded.by_mode == serial.by_mode
+        assert [
+            (f.input_bits, f.mode, f.got_bits, f.want_bits)
+            for f in sharded.failures
+        ] == [
+            (f.input_bits, f.mode, f.got_bits, f.want_bits)
+            for f in serial.failures
+        ]
+
+
+class TestStartMethodValidation:
+    def test_invalid_override_raises_with_choices(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MP_START", "bogus")
+        with pytest.raises(ValueError, match=r"REPRO_MP_START='bogus'.*choose from"):
+            start_method()
+
+    def test_valid_override_passes_through(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MP_START", "spawn")
+        assert start_method() == "spawn"
+
+    def test_default_without_override(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MP_START", raising=False)
+        assert start_method() in ("fork", "spawn")
