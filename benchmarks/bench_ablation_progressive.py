@@ -14,12 +14,10 @@ truncated evaluation.
 """
 
 import numpy as np
-import pytest
 
 from repro.core import collect_constraints, solve_constraints
 from repro.core.constraints import ConstraintSystem
 from repro.funcs import MINI_CONFIG, make_pipeline
-from repro.mp import FUNCTION_NAMES
 
 from .conftest import write_result
 

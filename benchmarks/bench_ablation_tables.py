@@ -7,12 +7,10 @@ This ablation regenerates log2 for the tiny family at several J values
 and reports the trade: wider tables -> smaller reduced domain -> fewer
 polynomial terms, at the cost of 2^J-entry tables."""
 
-import pytest
 
 from repro.core import generate_function
 from repro.fp import TINY_FAMILY
 from repro.funcs import FamilyConfig, make_pipeline
-from repro.mp import Oracle
 
 from .conftest import write_result
 

@@ -1,0 +1,212 @@
+"""Compare two BENCH_*.json payloads and emit a pass/fail verdict.
+
+The CI perf-gate runs the serving and generation benches on every PR and
+diffs the fresh payload against the committed baseline:
+
+    python benchmarks/bench_compare.py BENCH_serve.json /tmp/BENCH_serve.json \\
+        --tolerance 0.25 --out /tmp/verdict_serve.json
+
+Exit status is 0 when no metric regressed beyond the tolerance, 1 when
+at least one did, 2 on malformed input.  ``--out`` (or ``--json``) emits
+a machine-readable verdict::
+
+    {"ok": false, "kind": "serve", "tolerance": 0.25,
+     "regressions": ["serve.batch_64.inputs_per_sec"],
+     "metrics": [{"name": ..., "baseline": ..., "current": ...,
+                  "direction": "higher", "change": -0.41, "ok": false}, ...]}
+
+Two payload shapes are understood, auto-detected by their keys:
+
+* generation (``bench_generation_time.py --json``): per-function
+  ``wall_seconds`` plus the summary total — lower is better;
+* serve (``bench_serve.py --json``): per-batch-size ``inputs_per_sec``
+  and the batched-vs-single speedup — higher is better.
+
+A metric present in the baseline but missing from the candidate counts
+as a regression (coverage loss); metrics that only exist in the
+candidate are reported but never gate.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: metric direction: "higher" (throughput) or "lower" (wall time)
+HIGHER, LOWER = "higher", "lower"
+
+
+def _generation_metrics(payload):
+    out = {}
+    for fn, row in sorted(payload.get("functions", {}).items()):
+        out[f"generation.{fn}.wall_seconds"] = (row["wall_seconds"], LOWER)
+    summary = payload.get("summary", {})
+    if "total_wall_seconds" in summary:
+        out["generation.total_wall_seconds"] = (
+            summary["total_wall_seconds"], LOWER,
+        )
+    return out
+
+
+def _serve_metrics(payload):
+    out = {}
+    for row in payload.get("series", []):
+        out[f"serve.batch_{row['batch']}.inputs_per_sec"] = (
+            row["inputs_per_sec"], HIGHER,
+        )
+    if payload.get("speedup_batched_vs_single") is not None:
+        out["serve.speedup_batched_vs_single"] = (
+            payload["speedup_batched_vs_single"], HIGHER,
+        )
+    return out
+
+
+def extract_metrics(payload):
+    """``name -> (value, direction)`` for one payload; kind auto-detected."""
+    if "functions" in payload:
+        return "generation", _generation_metrics(payload)
+    if "series" in payload:
+        return "serve", _serve_metrics(payload)
+    raise ValueError(
+        "unrecognised payload: expected a 'functions' (generation) or "
+        "'series' (serve) key"
+    )
+
+
+def compare_metric(baseline, current, direction, tolerance):
+    """``(change, ok)``: signed fractional change, negative = worse.
+
+    ``change`` is ``current/baseline - 1`` for higher-is-better metrics
+    and ``1 - current/baseline`` for lower-is-better ones, so a negative
+    value is always a regression and ``ok`` is ``change >= -tolerance``.
+    A zero/negative baseline can't be compared; it passes with change 0
+    unless the candidate also can't be measured.
+    """
+    if baseline is None or baseline <= 0:
+        return 0.0, True
+    if current is None:
+        return None, False
+    ratio = current / baseline
+    change = (ratio - 1.0) if direction == HIGHER else (1.0 - ratio)
+    return change, change >= -tolerance
+
+
+def compare_payloads(base_payload, cur_payload, tolerance=0.25):
+    """The full verdict dict for two parsed payloads."""
+    base_kind, base_metrics = extract_metrics(base_payload)
+    cur_kind, cur_metrics = extract_metrics(cur_payload)
+    if base_kind != cur_kind:
+        raise ValueError(
+            f"payload kinds differ: baseline is {base_kind!r}, "
+            f"candidate is {cur_kind!r}"
+        )
+    rows = []
+    for name, (base_value, direction) in base_metrics.items():
+        cur = cur_metrics.get(name)
+        cur_value = cur[0] if cur else None
+        change, ok = compare_metric(
+            base_value, cur_value, direction, tolerance
+        )
+        rows.append({
+            "name": name,
+            "baseline": base_value,
+            "current": cur_value,
+            "direction": direction,
+            "change": change,
+            "ok": ok,
+        })
+    for name, (cur_value, direction) in cur_metrics.items():
+        if name not in base_metrics:
+            rows.append({
+                "name": name,
+                "baseline": None,
+                "current": cur_value,
+                "direction": direction,
+                "change": None,
+                "ok": True,   # new metric: informational only
+            })
+    regressions = [r["name"] for r in rows if not r["ok"]]
+    return {
+        "ok": not regressions,
+        "kind": base_kind,
+        "tolerance": tolerance,
+        "regressions": regressions,
+        "metrics": rows,
+    }
+
+
+def format_verdict(verdict):
+    lines = [
+        f"{'metric':<42} {'baseline':>12} {'current':>12} {'change':>8}  "
+    ]
+    for r in verdict["metrics"]:
+        base = "—" if r["baseline"] is None else f"{r['baseline']:.4g}"
+        cur = "—" if r["current"] is None else f"{r['current']:.4g}"
+        if r["change"] is None:
+            change = "—"
+        else:
+            # Positive change is always an improvement (see compare_metric).
+            sign = "+" if r["change"] >= 0 else ""
+            change = f"{sign}{100.0 * r['change']:.1f}%"
+        flag = "" if r["ok"] else "REGRESSED"
+        lines.append(
+            f"{r['name']:<42} {base:>12} {cur:>12} {change:>8}  {flag}"
+        )
+    pct = 100.0 * verdict["tolerance"]
+    if verdict["ok"]:
+        lines.append(
+            f"OK: no {verdict['kind']} metric regressed beyond {pct:.0f}%"
+        )
+    else:
+        lines.append(
+            f"FAIL: {len(verdict['regressions'])} {verdict['kind']} "
+            f"metric(s) regressed beyond {pct:.0f}%: "
+            + ", ".join(verdict["regressions"])
+        )
+    return "\n".join(lines)
+
+
+def _load(path):
+    try:
+        return json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        raise ValueError(f"cannot read benchmark payload {path}: {e}") from e
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="diff two BENCH_*.json payloads; exit 1 on regression"
+    )
+    ap.add_argument("baseline", help="committed baseline BENCH_*.json")
+    ap.add_argument("candidate", help="freshly measured BENCH_*.json")
+    ap.add_argument(
+        "--tolerance", type=float, default=0.25, metavar="FRAC",
+        help="allowed fractional regression per metric (default 0.25)",
+    )
+    ap.add_argument("--json", action="store_true",
+                    help="print the verdict as JSON instead of a table")
+    ap.add_argument("--out", default=None, metavar="PATH",
+                    help="also write the JSON verdict here")
+    args = ap.parse_args(argv)
+    if args.tolerance < 0:
+        ap.error("--tolerance must be >= 0")
+
+    try:
+        verdict = compare_payloads(
+            _load(args.baseline), _load(args.candidate), args.tolerance
+        )
+    except ValueError as e:
+        print(f"bench_compare: {e}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(json.dumps(verdict, indent=1))
+    else:
+        print(format_verdict(verdict))
+    if args.out:
+        Path(args.out).write_text(json.dumps(verdict, indent=1) + "\n")
+    return 0 if verdict["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,11 +32,10 @@ else:
     from .conftest import write_result
 
 import numpy as np
-import pytest
 
 from repro.core import generate_function
 from repro.funcs import MINI_CONFIG, PAPER_CONFIG, TINY_CONFIG, make_pipeline
-from repro.mp import FUNCTION_NAMES, Oracle
+from repro.mp import FUNCTION_NAMES
 from repro.parallel import open_oracle, resolve_jobs
 
 

@@ -8,7 +8,6 @@ reduction; the shape to reproduce is "one or a few pieces vs hundreds,
 order(s)-of-magnitude less coefficient storage".
 """
 
-import pytest
 
 from repro.mp import FUNCTION_NAMES
 

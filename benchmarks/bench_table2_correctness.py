@@ -17,13 +17,11 @@ paper-grade exhaustive verification of RLIBM-Prog lives in
 ``examples/verify_correctness.py`` and the test suite.
 """
 
-import math
 import random
 
 import numpy as np
-import pytest
 
-from repro.fp import IEEE_MODES, FPValue, RoundingMode, all_finite, sample_finite
+from repro.fp import IEEE_MODES, RoundingMode, all_finite, sample_finite
 from repro.funcs import MINI_CONFIG
 from repro.mp import FUNCTION_NAMES
 from repro.verify import verify_exhaustive

@@ -21,7 +21,6 @@ import time
 import numpy as np
 
 from repro import MINI_CONFIG, Oracle, RoundingMode, round_real
-from repro.fp import FPValue, exact_bits
 from repro.funcs import make_pipeline
 from repro.libm.artifacts import load_generated
 from repro.libm.vectorized import VectorizedFunction

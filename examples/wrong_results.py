@@ -12,7 +12,7 @@ progressive polynomial is correct:
   rounding errors — the exact failure the paper's Table 2 reports.
 """
 
-from repro import IEEE_MODES, Oracle, RoundingMode, TINY_CONFIG
+from repro import IEEE_MODES, Oracle, TINY_CONFIG
 from repro import generate_function, make_pipeline
 from repro.fp import all_finite
 from repro.libm.baselines import (

@@ -54,6 +54,14 @@ from .funcs import (
     make_pipeline,
 )
 from .libm import RlibmProg, load_generated, save_generated
+from .obs import (
+    MetricsRegistry,
+    configure_tracing,
+    get_registry,
+    get_tracer,
+    span,
+    traced,
+)
 from .verify import verify_exhaustive
 
 # The stable high-level facade (see repro.api).  Note: binding `verify`
@@ -89,6 +97,7 @@ __all__ = [
     "Kind",
     "MINI_CONFIG",
     "MINI_FAMILY",
+    "MetricsRegistry",
     "Oracle",
     "PAPER_CONFIG",
     "PAPER_FAMILY",
@@ -100,10 +109,13 @@ __all__ = [
     "TENSORFLOAT32",
     "TINY_CONFIG",
     "api",
+    "configure_tracing",
     "evaluate",
     "evaluate_generated",
     "generate",
     "generate_function",
+    "get_registry",
+    "get_tracer",
     "load_generated",
     "load_library",
     "make_evaluator",
@@ -114,6 +126,8 @@ __all__ = [
     "rounding_interval",
     "save_generated",
     "solve_constraints",
+    "span",
+    "traced",
     "verify",
     "verify_exhaustive",
 ]

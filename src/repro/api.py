@@ -36,6 +36,7 @@ from typing import Iterable, List, NamedTuple, Optional, Sequence, Union
 from .fp.format import FPFormat
 from .fp.rounding import IEEE_MODES, RoundingMode
 from .funcs import FAMILY_CONFIGS, FamilyConfig, make_pipeline
+from .obs import span as obs_span
 from .libm.artifacts import load_generated, save_generated
 from .libm.runtime import RlibmProg
 from .mp.oracle import FUNCTION_NAMES, Oracle
@@ -141,14 +142,15 @@ def generate(
     if checkpoint:
         artifact = Path(out_dir or ARTIFACT_DIR) / f"{config.name}_{fn}.json"
         ckpt_path = str(checkpoint_path_for(artifact))
-    gen = generate_function(
-        pipe, max_terms=max_terms, seed=seed, progress=progress, jobs=jobs,
-        checkpoint_path=ckpt_path, resume=resume,
-    )
-    path = save_generated(gen, out_dir) if save else None
-    flush = getattr(pipe.oracle, "flush", None)
-    if flush is not None:
-        flush()
+    with obs_span("api.generate", fn=fn, family=config.name, jobs=jobs):
+        gen = generate_function(
+            pipe, max_terms=max_terms, seed=seed, progress=progress,
+            jobs=jobs, checkpoint_path=ckpt_path, resume=resume,
+        )
+        path = save_generated(gen, out_dir) if save else None
+        flush = getattr(pipe.oracle, "flush", None)
+        if flush is not None:
+            flush()
     return GenerateResult(gen, path)
 
 
@@ -178,11 +180,23 @@ def verify(
     lib = GeneratedLibrary({fn: pipe}, {fn: gen}, label="rlibm-prog")
     wanted = range(config.levels) if levels is None else levels
     reports = []
-    for level in wanted:
-        reports.append(
-            verify_exhaustive(
-                lib, fn, config.formats[level], level, oracle, modes, jobs=jobs
-            )
+    with obs_span("api.verify", fn=fn, family=config.name, jobs=jobs) as sp:
+        for level in wanted:
+            with obs_span(
+                "verify.level",
+                fn=fn,
+                level=level,
+                fmt=config.formats[level].display_name,
+            ) as lsp:
+                rep = verify_exhaustive(
+                    lib, fn, config.formats[level], level, oracle, modes,
+                    jobs=jobs,
+                )
+                lsp.set(checks=rep.total_checks, wrong=rep.wrong)
+            reports.append(rep)
+        sp.set(
+            levels=len(reports),
+            wrong=sum(rep.wrong for rep in reports),
         )
     flush = getattr(oracle, "flush", None)
     if flush is not None:

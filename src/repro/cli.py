@@ -7,6 +7,12 @@ Commands:
     codegen   — emit C code for a generated function
     info      — show artifact properties (Table-1 style row)
     serve     — batch-evaluation server (JSON over TCP)
+    obs       — observability: dump metrics, summarize span traces
+
+Observability: every command accepts ``--trace PATH`` (equivalently the
+``REPRO_TRACE=PATH`` env var) to write hierarchical span records as JSON
+lines — worker processes included — and honours ``REPRO_PROFILE=<span>``
+for per-span cProfile (dumped to ``repro-profile.pstats`` at exit).
 
 Every subcommand is a thin shell over the :mod:`repro.api` facade; the
 flag surface and printed output of the pre-facade CLI are preserved.
@@ -106,11 +112,20 @@ def cmd_verify(args) -> int:
 
     config = _family_of(args.family)
     jobs = resolve_jobs(args.jobs)
+    levels = args.levels if args.levels else None
+    if levels is not None:
+        bad = [lv for lv in levels if not 0 <= lv < config.levels]
+        if bad:
+            raise SystemExit(
+                f"--levels {bad} out of range for family {config.name!r} "
+                f"(has levels 0..{config.levels - 1})"
+            )
     wrong = 0
     with _cli_oracle_session(args.oracle_cache) as oracle:
         for fn in args.functions:
             reports = api.verify(
-                fn, config, directory=args.dir, oracle=oracle, jobs=jobs
+                fn, config, directory=args.dir, oracle=oracle, jobs=jobs,
+                levels=levels,
             )
             for rep in reports:
                 print(rep.summary())
@@ -221,6 +236,69 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_obs(args) -> int:
+    """`obs`: dump metrics (JSON / Prometheus) and summarize traces."""
+    import json as _json
+
+    from .obs import get_registry, read_trace, summarize_trace
+
+    if args.trace_file:
+        spans = read_trace(args.trace_file)
+        summary = summarize_trace(spans)
+        if args.json:
+            print(_json.dumps(summary, indent=2, sort_keys=True))
+            return 0
+        print(
+            f"{summary['spans']} spans, {summary['processes']} process(es), "
+            f"{summary['traces']} trace(s)"
+        )
+        print(
+            f"wall {summary['wall_seconds']:.3f}s, covered "
+            f"{summary['covered_seconds']:.3f}s "
+            f"({100.0 * summary['coverage']:.1f}%)"
+        )
+        print(f"{'span':<24} {'count':>8} {'total_s':>10} {'max_s':>10}")
+        for name, row in sorted(
+            summary["by_name"].items(), key=lambda kv: -kv[1]["total_seconds"]
+        ):
+            print(
+                f"{name:<24} {row['count']:>8} "
+                f"{row['total_seconds']:>10.3f} {row['max_seconds']:>10.3f}"
+            )
+        return 0
+
+    if args.profile:
+        import pstats
+
+        stats = pstats.Stats(args.profile)
+        stats.sort_stats("cumulative").print_stats(args.limit)
+        return 0
+
+    if args.server:
+        host, _, port = args.server.rpartition(":")
+        from .serve import ServeClient
+
+        with ServeClient(host or "127.0.0.1", int(port)) as client:
+            if args.prometheus:
+                sys.stdout.write(client.metrics("prometheus"))
+            else:
+                print(_json.dumps(client.metrics(), indent=2, sort_keys=True))
+        return 0
+
+    registry = get_registry()
+    # A build-info style gauge so even a fresh process renders a valid,
+    # non-empty exposition (and scrapes can assert liveness on it).
+    registry.gauge(
+        "repro_info", help="Constant 1; labels describe this build.",
+        families=str(len(FAMILY_CONFIGS)), functions=str(len(FUNCTION_NAMES)),
+    ).set(1)
+    if args.prometheus:
+        sys.stdout.write(registry.to_prometheus())
+    else:
+        print(_json.dumps(registry.to_json(), indent=2, sort_keys=True))
+    return 0
+
+
 def main(argv=None) -> int:
     """CLI dispatcher; returns a process exit code."""
     # Fail fast on a bad REPRO_MP_START, even for serial runs where no
@@ -233,6 +311,13 @@ def main(argv=None) -> int:
 
     ap = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = ap.add_subparsers(dest="command", required=True)
+
+    def add_trace_flag(p):
+        p.add_argument(
+            "--trace", default=None, metavar="PATH",
+            help="write hierarchical span records (JSON lines) to PATH;"
+                 " equivalent to REPRO_TRACE=PATH, inherited by workers",
+        )
 
     def add_parallel_flags(p):
         p.add_argument(
@@ -248,6 +333,7 @@ def main(argv=None) -> int:
             "--timings", action="store_true",
             help="print the per-phase wall-clock breakdown",
         )
+        add_trace_flag(p)
 
     g = sub.add_parser("generate", help="generate progressive polynomials")
     g.add_argument("--family", default="mini")
@@ -272,6 +358,12 @@ def main(argv=None) -> int:
     v.add_argument("--family", default="mini")
     v.add_argument("--functions", nargs="*", default=list(FUNCTION_NAMES))
     v.add_argument("--dir", default=None)
+    v.add_argument(
+        "--levels", nargs="*", type=int, default=None, metavar="L",
+        help="verify only these family levels (default: every level);"
+             " e.g. --levels 0 1 checks bfloat16 and tensorfloat32 of the"
+             " paper family without enumerating float32",
+    )
     add_parallel_flags(v)
     v.set_defaults(func=cmd_verify)
 
@@ -316,10 +408,65 @@ def main(argv=None) -> int:
         "--request-deadline", type=float, default=30.0,
         help="per-request deadline in seconds ('deadline_exceeded' error)",
     )
+    add_trace_flag(s)
     s.set_defaults(func=cmd_serve)
 
+    o = sub.add_parser(
+        "obs", help="dump metrics / summarize a span trace file"
+    )
+    o.add_argument(
+        "--prometheus", action="store_true",
+        help="render the metrics registry in Prometheus text exposition"
+             " format instead of JSON",
+    )
+    o.add_argument(
+        "--json", action="store_true",
+        help="with --trace, emit the trace summary as JSON",
+    )
+    o.add_argument(
+        "--trace", dest="trace_file", default=None, metavar="PATH",
+        help="summarize a span trace file (counts, wall-clock coverage)",
+    )
+    o.add_argument(
+        "--profile", default=None, metavar="PATH",
+        help="print the top entries of a dumped pstats profile",
+    )
+    o.add_argument(
+        "--limit", type=int, default=30,
+        help="rows to print with --profile (default 30)",
+    )
+    o.add_argument(
+        "--server", default=None, metavar="HOST:PORT",
+        help="fetch the metrics from a running serve process instead of"
+             " dumping this process's registry",
+    )
+    o.set_defaults(func=cmd_obs)
+
     args = ap.parse_args(argv)
-    return args.func(args)
+    return _run_command(args)
+
+
+def _run_command(args) -> int:
+    """Run one subcommand under the observability envelope.
+
+    ``--trace`` configures the JSONL span sink (exported to child
+    processes), the whole command runs inside a root ``cli.<command>``
+    span — so a trace's interval union covers essentially the entire
+    wall clock — and any accumulated ``REPRO_PROFILE`` data is dumped on
+    the way out.
+    """
+    from .obs import configure_tracing, span, write_profile
+
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        configure_tracing(trace_path)
+    try:
+        with span(f"cli.{args.command}"):
+            return args.func(args)
+    finally:
+        profile_path = write_profile()
+        if profile_path:
+            print(f"profile written to {profile_path}", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover - module entry

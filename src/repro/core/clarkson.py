@@ -14,11 +14,13 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 
 from ..lp.model import solve_margin_lp
+from ..obs import get_registry
+from ..obs import span as obs_span
 from .constraints import ConstraintSystem
 from .sampling import WeightState, weighted_sample_indices
 
@@ -98,50 +100,83 @@ def solve_constraints(
     feasible = True
     consecutive_infeasible = 0
 
+    registry = get_registry()
+    iterations_total = registry.counter(
+        "repro_clarkson_iterations_total",
+        help="Clarkson solver iterations (the paper's 6k log n bound).",
+    )
+    lucky_total = registry.counter(
+        "repro_clarkson_lucky_total",
+        help="Lucky iterations (violated weight within 1/(3k-1)).",
+    )
+    lp_solves_total = registry.counter(
+        "repro_lp_solves_total", help="Exact rational margin-LP solves."
+    )
     while stats.iterations < max_iterations:
         stats.iterations += 1
-        idx = (
-            weighted_sample_indices(state.weights, size, rng)
-            if weighted
-            else _uniform_sample(n, size, rng)
-        )
-        sample_rows = [system.rows[int(i)] for i in idx]
-        stats.lp_solves += 1
-        t_lp = time.perf_counter()
-        sol = solve_margin_lp(sample_rows, system.ncols)
-        stats.lp_seconds += time.perf_counter() - t_lp
-        if sol is None:
-            # The sample is a subset of the full multiset: an infeasible
-            # sample *proves* the whole system infeasible.  By default we
-            # stop right away, returning the best near-solution seen so
-            # far (which feeds the paper's "accept a few special-case
-            # inputs" path); with stop_on_infeasible=False we keep
-            # sampling for a better near-solution.
-            feasible = False
-            stats.infeasible_samples += 1
-            consecutive_infeasible += 1
-            # Only short-circuit once some near-solution exists to return.
-            if stop_on_infeasible and best_viol is not None:
-                break
-            if consecutive_infeasible >= 5:
-                break
-            continue
-        consecutive_infeasible = 0
-        t_screen = time.perf_counter()
-        violated = system.violations(sol.coefficients)
-        stats.screen_seconds += time.perf_counter() - t_screen
-        stats.violation_history.append(len(violated))
-        if improves_best(
-            len(violated), sol.margin,
-            None if best_viol is None else len(best_viol), best_margin,
-        ):
-            best, best_viol, best_margin = sol.coefficients, violated, sol.margin
-        if len(violated) == 0:
-            return ClarksonResult(sol.coefficients, violated, sol.margin, feasible, stats)
-        wv, ws = state.split_weight(violated)
-        if wv * lucky_denom <= ws:
-            stats.lucky_iterations += 1
-            state.double(violated)
+        iterations_total.inc()
+        with obs_span(
+            "clarkson.iteration", iteration=stats.iterations, k=k, n=n
+        ) as isp:
+            idx = (
+                weighted_sample_indices(state.weights, size, rng)
+                if weighted
+                else _uniform_sample(n, size, rng)
+            )
+            sample_rows = [system.rows[int(i)] for i in idx]
+            stats.lp_solves += 1
+            lp_solves_total.inc()
+            t_lp = time.perf_counter()
+            sol = solve_margin_lp(sample_rows, system.ncols)
+            lp_seconds = time.perf_counter() - t_lp
+            stats.lp_seconds += lp_seconds
+            isp.set(sample_size=len(idx), lp_seconds=lp_seconds)
+            if sol is None:
+                # The sample is a subset of the full multiset: an
+                # infeasible sample *proves* the whole system infeasible.
+                # By default we stop right away, returning the best
+                # near-solution seen so far (which feeds the paper's
+                # "accept a few special-case inputs" path); with
+                # stop_on_infeasible=False we keep sampling for a better
+                # near-solution.
+                feasible = False
+                stats.infeasible_samples += 1
+                consecutive_infeasible += 1
+                isp.set(infeasible_sample=True)
+                # Only short-circuit once some near-solution exists to
+                # return.
+                if stop_on_infeasible and best_viol is not None:
+                    break
+                if consecutive_infeasible >= 5:
+                    break
+                continue
+            consecutive_infeasible = 0
+            t_screen = time.perf_counter()
+            violated = system.violations(sol.coefficients)
+            stats.screen_seconds += time.perf_counter() - t_screen
+            stats.violation_history.append(len(violated))
+            if improves_best(
+                len(violated), sol.margin,
+                None if best_viol is None else len(best_viol), best_margin,
+            ):
+                best, best_viol, best_margin = (
+                    sol.coefficients, violated, sol.margin
+                )
+            if len(violated) == 0:
+                isp.set(violations=0, lucky=False)
+                return ClarksonResult(
+                    sol.coefficients, violated, sol.margin, feasible, stats
+                )
+            wv, ws = state.split_weight(violated)
+            lucky = wv * lucky_denom <= ws
+            isp.set(
+                violations=len(violated), lucky=lucky,
+                weight_violated=float(wv), weight_satisfied=float(ws),
+            )
+            if lucky:
+                stats.lucky_iterations += 1
+                lucky_total.inc()
+                state.double(violated)
 
     if best_viol is None:
         best_viol = np.arange(n)

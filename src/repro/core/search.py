@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING
 from ..fp.enumerate import all_finite
 from ..fp.intervals import rounding_interval
 from ..fp.rounding import RoundingMode
+from ..obs import span as obs_span
 from .clarkson import ClarksonResult, solve_constraints
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -122,30 +123,35 @@ def collect_constraints(
     t0 = time.perf_counter()
     oracle_sec0 = pipeline.oracle.stats.seconds
     worker_oracle_seconds = 0.0
-    if jobs > 1:
-        from ..parallel.pool import shard_outcomes
+    with obs_span(
+        "search.constraints", fn=pipeline.name, jobs=jobs
+    ) as sp:
+        if jobs > 1:
+            from ..parallel.pool import shard_outcomes
 
-        outcomes, worker_oracle_seconds = shard_outcomes(
-            pipeline, inputs_per_level, jobs=jobs, progress=progress
-        )
-    else:
-        outcomes = []
-        for level, fmt in enumerate(fam.formats):
-            inputs = (
-                inputs_per_level[level]
-                if inputs_per_level is not None
-                else all_finite(fmt)
+            outcomes, worker_oracle_seconds = shard_outcomes(
+                pipeline, inputs_per_level, jobs=jobs, progress=progress
             )
-            outcomes.extend(chunk_outcomes(pipeline, level, list(inputs)))
-            if progress:
-                progress(
-                    f"{pipeline.name}: level {level} ({fmt.display_name}) reduced"
+        else:
+            outcomes = []
+            for level, fmt in enumerate(fam.formats):
+                inputs = (
+                    inputs_per_level[level]
+                    if inputs_per_level is not None
+                    else all_finite(fmt)
                 )
+                outcomes.extend(chunk_outcomes(pipeline, level, list(inputs)))
+                if progress:
+                    progress(
+                        f"{pipeline.name}: level {level} "
+                        f"({fmt.display_name}) reduced"
+                    )
+        oracle_seconds = (
+            pipeline.oracle.stats.seconds - oracle_sec0
+        ) + worker_oracle_seconds
+        sp.set(outcomes=len(outcomes), oracle_seconds=oracle_seconds)
     timings.add("constraints", time.perf_counter() - t0)
-    timings.add(
-        "oracle",
-        (pipeline.oracle.stats.seconds - oracle_sec0) + worker_oracle_seconds,
-    )
+    timings.add("oracle", oracle_seconds)
     return merge_constraints(outcomes, pipeline.special_output)
 
 
@@ -175,6 +181,41 @@ def generate_function(
     byte-identical to an uninterrupted one.  The sidecar is deleted on
     success.
     """
+    with obs_span(
+        "search.generate",
+        fn=pipeline.name,
+        family=pipeline.family.name,
+        jobs=max(1, int(jobs or 1)),
+    ) as sp:
+        gen = _generate_function(
+            pipeline, inputs_per_level, max_terms, max_subdomains,
+            max_specials, max_iterations, seed, progress, jobs, timings,
+            checkpoint_path, resume,
+        )
+        sp.set(
+            pieces=gen.num_pieces,
+            specials=len(gen.specials),
+            clarkson_iterations=gen.stats.clarkson_iterations,
+            lp_solves=gen.stats.lp_solves,
+            constraints=gen.stats.constraints,
+        )
+        return gen
+
+
+def _generate_function(
+    pipeline: "FunctionPipeline",
+    inputs_per_level: Optional[Sequence[Sequence]],
+    max_terms: int,
+    max_subdomains: int,
+    max_specials: int,
+    max_iterations: int,
+    seed: int,
+    progress,
+    jobs: int,
+    timings: Optional["PhaseTimings"],
+    checkpoint_path: Optional[str],
+    resume: bool,
+) -> GeneratedFunction:
     from ..parallel.timing import PhaseTimings
     from ..resilience.checkpoint import (
         SearchCheckpoint,
@@ -242,10 +283,15 @@ def generate_function(
                 pieces.append(resumed_pieces[pi])
                 piece_failures.append(resumed_failures[pi])
                 continue
-            result = _search_piece(
-                pipeline, piece_cons, max_terms, max_iterations, rng, stats,
-                max_specials, power_cache, timings,
-            )
+            with obs_span(
+                "search.piece", fn=pipeline.name, piece=pi, nsplits=nsplits,
+                constraints=len(piece_cons),
+            ) as psp:
+                result = _search_piece(
+                    pipeline, piece_cons, max_terms, max_iterations, rng,
+                    stats, max_specials, power_cache, timings,
+                )
+                psp.set(satisfiable=result is not None)
             if result is None:
                 ok = False
                 break
@@ -350,9 +396,21 @@ def _try_config(
     term_counts = _term_vector(pipeline, counts_per_level)
     shapes = pipeline.shapes(term_counts[-1])
     system = ConstraintSystem(constraints, shapes, term_counts, power_cache)
-    res = solve_constraints(
-        system, k=system.ncols, max_iterations=max_iterations, rng=rng
-    )
+    with obs_span(
+        "search.config",
+        fn=pipeline.name,
+        counts=list(counts_per_level),
+        ncols=system.ncols,
+    ) as csp:
+        res = solve_constraints(
+            system, k=system.ncols, max_iterations=max_iterations, rng=rng
+        )
+        csp.set(
+            satisfiable=res.coefficients is not None,
+            iterations=res.stats.iterations,
+            lp_solves=res.stats.lp_solves,
+            violations=len(res.violations),
+        )
     stats.configs_tried += 1
     stats.clarkson_iterations += res.stats.iterations
     stats.lp_solves += res.stats.lp_solves

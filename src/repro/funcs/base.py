@@ -26,7 +26,7 @@ verification afterwards.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -36,7 +36,7 @@ from ..fp.intervals import Interval, rounding_interval
 from ..fp.rounding import RoundingMode
 from ..mp.oracle import Oracle
 from ..core.constraints import ReducedConstraint
-from ..core.polynomial import PolyShape, ProgressivePolynomial, eval_double_horner
+from ..core.polynomial import PolyShape, ProgressivePolynomial
 
 
 @dataclass(frozen=True)

@@ -26,7 +26,7 @@ from typing import Optional
 from ..fp.encode import float_to_bits, bits_to_float
 from ..fp.format import FLOAT64
 from ..fp.rounding import RoundingMode
-from .base import FamilyConfig, FunctionPipeline, Reduction
+from .base import FunctionPipeline, Reduction
 
 #: Clamp outputs: huge rounds like any overflowing value, tiny like any
 #: positive value below half the smallest subnormal of every family format.

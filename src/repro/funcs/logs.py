@@ -25,7 +25,7 @@ from typing import Optional
 
 from ..fp.format import FLOAT64
 from ..fp.rounding import RoundingMode
-from .base import FamilyConfig, FunctionPipeline, Reduction
+from .base import FunctionPipeline, Reduction
 
 
 class _LogPipeline(FunctionPipeline):

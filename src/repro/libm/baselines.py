@@ -24,7 +24,7 @@ from fractions import Fraction
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from ..core.polynomial import ProgressivePolynomial
-from ..core.remez import RemezResult, fit_shape
+from ..core.remez import fit_shape
 from ..core.search import GeneratedFunction, Piece, evaluate_generated
 from ..fp.encode import FPValue
 from ..fp.format import FPFormat
@@ -32,7 +32,7 @@ from ..fp.rounding import RoundingMode
 from ..funcs import FamilyConfig, make_pipeline
 from ..funcs.base import FunctionPipeline
 from ..mp.oracle import Oracle
-from .runtime import RlibmProgFunction, round_double_to
+from .runtime import round_double_to
 
 
 # ----------------------------------------------------------------------

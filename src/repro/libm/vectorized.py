@@ -13,7 +13,6 @@ extra coefficient gather), so relative timings mirror the paper's shape.
 
 from __future__ import annotations
 
-import math
 from typing import Optional
 
 import numpy as np

@@ -113,12 +113,12 @@ def _log2_magnitude_estimate(fn: str, x: Fraction) -> float:
         if fn in ("ln", "log2", "log10"):
             if xf <= 0:
                 return 0.0
-            l = math.log2(xf) if xf != 1.0 else 0.0
+            lg = math.log2(xf) if xf != 1.0 else 0.0
             if fn == "ln":
-                l *= _LN2
+                lg *= _LN2
             elif fn == "log10":
-                l *= _LN2 / math.log(10.0)
-            return math.log2(abs(l)) if l else -_SMALL_RESULT_BITS
+                lg *= _LN2 / math.log(10.0)
+            return math.log2(abs(lg)) if lg else -_SMALL_RESULT_BITS
         if fn in ("sinh", "cosh"):
             if abs(xf) > 1:
                 return abs(xf) / _LN2

@@ -1,0 +1,113 @@
+"""Per-span cProfile hooks, opt-in via ``REPRO_PROFILE``.
+
+Setting ``REPRO_PROFILE=<span-name>`` profiles every span of that name:
+each entry into the span runs under a fresh :class:`cProfile.Profile`,
+and the accumulated stats are dumped when :func:`write_profile` is
+called (the CLI does this at exit) or fetched with
+:func:`profile_stats_text`.  ``REPRO_PROFILE=*`` profiles the outermost
+traced span of each thread instead.
+
+Profiles never nest — cProfile does not support concurrent profilers in
+one thread — so while a profiled span is open, inner spans matching the
+target are timed but not re-profiled.  The hook costs one dict lookup
+per span when disabled.
+
+The dump path defaults to ``repro-profile.pstats`` in the working
+directory and can be overridden with ``REPRO_PROFILE_OUT``.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import os
+import pstats
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+ENV_PROFILE = "REPRO_PROFILE"
+ENV_PROFILE_OUT = "REPRO_PROFILE_OUT"
+DEFAULT_OUT = "repro-profile.pstats"
+
+_LOCK = threading.Lock()
+_LOCAL = threading.local()
+#: Accumulated pstats.Stats across finished profiled spans (or None).
+_STATS: Optional[pstats.Stats] = None
+_SPAN_COUNT = 0
+
+
+def profile_target() -> Optional[str]:
+    """The span name being profiled (``None`` when profiling is off)."""
+    return os.environ.get(ENV_PROFILE) or None
+
+
+def _matches(name: str, target: str) -> bool:
+    if target == "*":
+        return not getattr(_LOCAL, "active", False)
+    return name == target
+
+
+@contextmanager
+def profiled_region(name: str) -> Iterator[None]:
+    """Profile this span if it matches ``REPRO_PROFILE``; else no-op."""
+    global _STATS, _SPAN_COUNT
+    target = profile_target()
+    if target is None or getattr(_LOCAL, "active", False) or not _matches(
+        name, target
+    ):
+        yield
+        return
+    _LOCAL.active = True
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        yield
+    finally:
+        profile.disable()
+        _LOCAL.active = False
+        with _LOCK:
+            if _STATS is None:
+                _STATS = pstats.Stats(profile)
+            else:
+                _STATS.add(profile)
+            _SPAN_COUNT += 1
+
+
+def profiled_span_count() -> int:
+    """How many spans have been profiled so far in this process."""
+    with _LOCK:
+        return _SPAN_COUNT
+
+
+def profile_stats_text(limit: int = 30, sort: str = "cumulative") -> str:
+    """The accumulated profile as ``pstats`` text ("" when empty)."""
+    with _LOCK:
+        if _STATS is None:
+            return ""
+        buf = io.StringIO()
+        stats = _STATS
+        stats.stream = buf
+        stats.sort_stats(sort).print_stats(limit)
+        return buf.getvalue()
+
+
+def write_profile(path: Optional[str] = None) -> Optional[str]:
+    """Dump accumulated stats to ``path`` (or the env/default location).
+
+    Returns the path written, or ``None`` when nothing was profiled.
+    """
+    with _LOCK:
+        if _STATS is None:
+            return None
+        out = path or os.environ.get(ENV_PROFILE_OUT) or DEFAULT_OUT
+        _STATS.dump_stats(out)
+        return out
+
+
+def reset_profile() -> None:
+    """Drop accumulated stats (test isolation)."""
+    global _STATS, _SPAN_COUNT
+    with _LOCK:
+        _STATS = None
+        _SPAN_COUNT = 0

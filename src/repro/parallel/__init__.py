@@ -6,7 +6,8 @@ Three orthogonal pieces used by the generator, the verifier and the CLI:
   constraint-generation and exhaustive-verification input sweeps;
 * :mod:`repro.parallel.cache` — a persistent sqlite oracle cache keyed by
   ``(fn, x, format, mode)`` so warm re-runs skip the Ziv loops;
-* :mod:`repro.parallel.timing` — phase-level wall-clock instrumentation
+* :mod:`repro.parallel.timing` — deprecated shim for the phase-level
+  wall-clock instrumentation that now lives in :mod:`repro.obs.phases`
   (oracle / LP / screening / runtime-check breakdowns).
 """
 

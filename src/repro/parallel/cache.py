@@ -41,6 +41,7 @@ import time
 from fractions import Fraction
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from ..obs import get_registry
 from ..resilience.faults import maybe_fire, corrupt_file
 
 from ..fp.encode import FPValue
@@ -116,6 +117,15 @@ class OracleCache:
         self._pending: Dict[str, str] = {}
         self.hits = 0
         self.misses = 0
+        registry = get_registry()
+        self._hits_total = registry.counter(
+            "repro_oracle_cache_hits_total",
+            help="Oracle queries answered from the persistent cache.",
+        )
+        self._misses_total = registry.counter(
+            "repro_oracle_cache_misses_total",
+            help="Oracle queries that fell through to the Ziv loop.",
+        )
 
     def _open_checked(self) -> sqlite3.Connection:
         """Connect, verify integrity + schema version, ensure the table.
@@ -191,8 +201,10 @@ class OracleCache:
             got = row[0] if row else None
         if got is None:
             self.misses += 1
+            self._misses_total.inc()
             return None
         self.hits += 1
+        self._hits_total.inc()
         return FPValue(fmt, int(got))
 
     def put(

@@ -39,11 +39,18 @@ import os
 import time
 from multiprocessing import TimeoutError as MPTimeoutError
 from multiprocessing import get_all_start_methods, get_context
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 from ..fp.encode import FPValue
 from ..fp.enumerate import all_finite
 from ..fp.rounding import RoundingMode
+from ..obs import (
+    get_registry,
+    propagate_to_children,
+    reset_tracing,
+    trace_event,
+)
+from ..obs import span as obs_span
 from ..resilience.faults import maybe_crash, maybe_sleep
 from .cache import absorb_entries, open_oracle, persistent_cache_path
 
@@ -186,11 +193,28 @@ def run_chunks(
     timeout = _env_float("REPRO_CHUNK_TIMEOUT", DEFAULT_CHUNK_TIMEOUT)
     retries = int(_env_float("REPRO_CHUNK_RETRIES", DEFAULT_CHUNK_RETRIES))
     backoff = _env_float("REPRO_RETRY_BACKOFF", DEFAULT_RETRY_BACKOFF)
+    registry = get_registry()
+    retries_total = registry.counter(
+        "repro_pool_retries_total",
+        help="Chunk attempts that failed and were retried.", pool=label,
+    )
+    respawns_total = registry.counter(
+        "repro_pool_respawns_total",
+        help="Full pool respawns after a crash or deadline.", pool=label,
+    )
+    poison_total = registry.counter(
+        "repro_pool_poison_total",
+        help="Chunks computed in-process after exhausting retries.",
+        pool=label,
+    )
 
     def spawn():
-        return ctx.Pool(
-            processes=jobs, initializer=initializer, initargs=initargs
-        )
+        # Children started here — fork and spawn alike — inherit the
+        # trace context, so worker spans join the parent trace.
+        with propagate_to_children():
+            return ctx.Pool(
+                processes=jobs, initializer=initializer, initargs=initargs
+            )
 
     pool = spawn()
     asyncs = [pool.apply_async(worker_fn, (t,)) for t in tasks]
@@ -210,8 +234,15 @@ def run_chunks(
                             "computing in-process",
                             label, i + 1, len(tasks), attempts[i], e,
                         )
+                        poison_total.inc()
+                        trace_event(
+                            "pool.poison", pool=label, chunk=i,
+                            attempts=attempts[i], error=str(e),
+                        )
                         result = fallback(tasks[i])
                         if broken:
+                            respawns_total.inc()
+                            trace_event("pool.respawn", pool=label, chunk=i)
                             pool.terminate()
                             pool.join()
                             pool = spawn()
@@ -226,8 +257,15 @@ def run_chunks(
                         label, i + 1, len(tasks), e,
                         attempts[i], retries, delay,
                     )
+                    retries_total.inc()
+                    trace_event(
+                        "pool.retry", pool=label, chunk=i,
+                        attempt=attempts[i], error=str(e),
+                    )
                     time.sleep(delay)
                     if broken:
+                        respawns_total.inc()
+                        trace_event("pool.respawn", pool=label, chunk=i)
                         pool.terminate()
                         pool.join()
                         pool = spawn()
@@ -249,6 +287,10 @@ def run_chunks(
 def _init_gen_worker(fn_name, family, cache_path, max_prec) -> None:
     from ..funcs import make_pipeline
 
+    # Rebind the tracer from the env the parent exported: forked workers
+    # inherited the parent's tracer (and its open-span stack), spawned
+    # workers have none; either way the env is the source of truth.
+    reset_tracing()
     oracle = open_oracle(
         cache_path, max_prec=max_prec, read_only=True, record_new=True
     )
@@ -266,9 +308,12 @@ def _gen_chunk(task):
     level, bits = task
     pipeline = _STATE["pipeline"]
     fmt = pipeline.family.formats[level]
-    outcomes = chunk_outcomes(
-        pipeline, level, [FPValue(fmt, b) for b in bits]
-    )
+    with obs_span(
+        "pool.gen_chunk", fn=pipeline.name, level=level, inputs=len(bits)
+    ):
+        outcomes = chunk_outcomes(
+            pipeline, level, [FPValue(fmt, b) for b in bits]
+        )
     return outcomes, _STATE["oracle"].drain_new(), _worker_oracle_delta()
 
 
@@ -289,7 +334,6 @@ def shard_outcomes(
     fam = pipeline.family
     tasks: List[Tuple[int, List[int]]] = []
     level_end: List[int] = []
-    total = 0
     for level, fmt in enumerate(fam.formats):
         inputs = (
             inputs_per_level[level]
@@ -297,7 +341,6 @@ def shard_outcomes(
             else all_finite(fmt)
         )
         bits = [v.bits for v in inputs]
-        total += len(bits)
         for chunk in _chunks(bits, _chunk_size(len(bits), jobs)):
             tasks.append((level, chunk))
         level_end.append(len(tasks))
@@ -350,6 +393,7 @@ def shard_outcomes(
 # ----------------------------------------------------------------------
 def _init_verify_worker(spec, cache_path, max_prec) -> None:
     library, fn, fmt, level, modes, canonical_zeros, max_recorded = spec
+    reset_tracing()
     oracle = open_oracle(
         cache_path, max_prec=max_prec, read_only=True, record_new=True
     )
@@ -369,12 +413,15 @@ def _verify_chunk(bits):
     library, fn, fmt, level, modes, canonical_zeros, max_recorded = _STATE[
         "verify"
     ]
-    report = verify_exhaustive(
-        library, fn, fmt, level, _STATE["oracle"], modes,
-        inputs=[FPValue(fmt, b) for b in bits],
-        canonical_zeros=canonical_zeros,
-        max_recorded_failures=max_recorded,
-    )
+    with obs_span(
+        "pool.verify_chunk", fn=fn, level=level, inputs=len(bits)
+    ):
+        report = verify_exhaustive(
+            library, fn, fmt, level, _STATE["oracle"], modes,
+            inputs=[FPValue(fmt, b) for b in bits],
+            canonical_zeros=canonical_zeros,
+            max_recorded_failures=max_recorded,
+        )
     failures = [
         (f.input_bits, f.mode.value, f.got_bits, f.want_bits)
         for f in report.failures

@@ -142,8 +142,14 @@ class BatchEvaluator:
         fmt: Optional[Union[str, int, FPFormat]] = None,
         level: Optional[int] = None,
         mode: Union[str, RoundingMode] = RoundingMode.RNE,
+        n_requests: int = 1,
     ) -> BatchResult:
-        """Correctly rounded bit patterns for a batch of double inputs."""
+        """Correctly rounded bit patterns for a batch of double inputs.
+
+        ``n_requests`` is how many client requests this batch answers —
+        the coalescing dispatcher passes the fused-request count so the
+        metrics count each client request exactly once.
+        """
         t0 = time.perf_counter()
         reg = self.registry
         level, fmt = reg.resolve_level(fmt, level)
@@ -216,7 +222,9 @@ class BatchEvaluator:
         else:
             result.values = [FPValue(fmt, int(b)).to_float() for b in bits]
         result.wall_seconds = time.perf_counter() - t0
-        self.metrics.record_batch(fn, n, tiers, result.wall_seconds)
+        self.metrics.record_batch(
+            fn, n, tiers, result.wall_seconds, n_requests=n_requests
+        )
         return result
 
     def evaluate_one(

@@ -1,71 +1,38 @@
-"""Serving metrics: counters plus batch-size and latency histograms.
+"""Serving metrics: a facade over the unified observability registry.
 
-Everything here is deliberately dependency-free (no prometheus client in
-the container) but keeps the same shape a scrape endpoint would export:
-monotonically increasing counters and fixed-bucket histograms, snapshot
-as one JSON-friendly dict by the server's ``stats`` op.
+:class:`ServerMetrics` keeps the exact ``stats``-op snapshot shape the
+serving subsystem has always exposed, but every number now lives in a
+:class:`repro.obs.MetricsRegistry` under ``repro_serve_*`` metric
+families — so the same state renders as the legacy JSON snapshot, as
+registry JSON, and as Prometheus text exposition (the ``metrics`` op).
 
-A single lock guards all mutation: the asyncio server runs single
-threaded, but :class:`~repro.serve.evaluator.BatchEvaluator` is also a
-public in-process API and may be shared across threads.
+Each :class:`ServerMetrics` defaults to its *own private* registry
+rather than the process-global one: concurrent test servers (and any
+embedded :class:`~repro.serve.evaluator.BatchEvaluator`) must not share
+counts.  Pass ``registry=repro.obs.get_registry()`` to publish into the
+process-global registry instead.
+
+Counting model (the coalescing fix): ``requests_by_fn`` counts *client
+requests*, with coalesced members counted exactly once each — the
+dispatcher passes the number of fused requests per merged batch — while
+``batches_by_fn`` counts evaluator batches.  Previously a merged batch
+incremented ``requests_by_fn`` once regardless of how many client
+requests it carried, so coalesced members were visible only through
+``coalesced_requests`` and the two families could not be reconciled.
 """
 
 from __future__ import annotations
 
-import threading
-from bisect import bisect_left
-from typing import Dict, List, Sequence
+from typing import Dict, Optional, Sequence
 
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
 
-class Histogram:
-    """Fixed-bucket histogram with exact count/sum and quantile estimates."""
-
-    def __init__(self, bounds: Sequence[float]):
-        self.bounds: List[float] = sorted(bounds)
-        self.counts: List[int] = [0] * (len(self.bounds) + 1)
-        self.total = 0
-        self.sum = 0.0
-        self.max = 0.0
-
-    def observe(self, value: float) -> None:
-        """Record one observation."""
-        self.counts[bisect_left(self.bounds, value)] += 1
-        self.total += 1
-        self.sum += value
-        if value > self.max:
-            self.max = value
-
-    def quantile(self, q: float) -> float:
-        """Upper bucket bound holding the q-quantile (0 when empty).
-
-        The top (overflow) bucket reports the exact observed maximum, so
-        p99 stays meaningful even when everything lands past the bounds.
-        """
-        if self.total == 0:
-            return 0.0
-        rank = q * self.total
-        seen = 0
-        for i, c in enumerate(self.counts):
-            seen += c
-            if seen >= rank:
-                return self.bounds[i] if i < len(self.bounds) else self.max
-        return self.max
-
-    def snapshot(self) -> dict:
-        """JSON-friendly dump: buckets, count, sum, mean, p50/p99."""
-        return {
-            "buckets": [
-                {"le": b, "count": c} for b, c in zip(self.bounds, self.counts)
-            ]
-            + [{"le": "inf", "count": self.counts[-1]}],
-            "count": self.total,
-            "sum": self.sum,
-            "mean": self.sum / self.total if self.total else 0.0,
-            "max": self.max,
-            "p50": self.quantile(0.50),
-            "p99": self.quantile(0.99),
-        }
-
+__all__ = [
+    "BATCH_BOUNDS",
+    "LATENCY_BOUNDS",
+    "Histogram",
+    "ServerMetrics",
+]
 
 #: Batch sizes: powers of two up to the default coalescing cap.
 BATCH_BOUNDS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
@@ -79,75 +46,140 @@ LATENCY_BOUNDS = (
 class ServerMetrics:
     """Counters + histograms for one serving process."""
 
-    def __init__(self):
-        self._lock = threading.Lock()
-        self.requests_by_fn: Dict[str, int] = {}
-        self.inputs_by_fn: Dict[str, int] = {}
-        self.results_by_tier: Dict[str, int] = {}
-        self.errors = 0
-        self.overloaded = 0
-        self.deadline_exceeded = 0
-        self.coalesced_flushes = 0
-        self.coalesced_requests = 0
-        self.batch_sizes = Histogram(BATCH_BOUNDS)
-        self.eval_latency = Histogram(LATENCY_BOUNDS)
-        self.request_latency = Histogram(LATENCY_BOUNDS)
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        reg = self.registry
+        self._requests_by_fn: Dict[str, Counter] = {}
+        self._batches_by_fn: Dict[str, Counter] = {}
+        self._inputs_by_fn: Dict[str, Counter] = {}
+        self._results_by_tier: Dict[str, Counter] = {}
+        self.errors = reg.counter(
+            "repro_serve_errors_total", help="Requests answered with an error."
+        )
+        self.overloaded = reg.counter(
+            "repro_serve_overloaded_total",
+            help="Requests shed by backpressure.",
+        )
+        self.deadline_exceeded = reg.counter(
+            "repro_serve_deadline_exceeded_total",
+            help="Requests cancelled at their deadline.",
+        )
+        self.coalesced_flushes = reg.counter(
+            "repro_serve_coalesced_flushes_total",
+            help="Dispatcher flushes that merged at least one request.",
+        )
+        self.coalesced_requests = reg.counter(
+            "repro_serve_coalesced_requests_total",
+            help="Client requests that went through the coalescing path.",
+        )
+        self.batch_sizes = reg.histogram(
+            "repro_serve_batch_size", buckets=BATCH_BOUNDS,
+            help="Inputs per evaluator batch.",
+        )
+        self.eval_latency = reg.histogram(
+            "repro_serve_eval_latency_seconds", buckets=LATENCY_BOUNDS,
+            help="Evaluator wall-clock per batch.",
+        )
+        self.request_latency = reg.histogram(
+            "repro_serve_request_latency_seconds", buckets=LATENCY_BOUNDS,
+            help="Server-side wall-clock per protocol request.",
+        )
 
     # ------------------------------------------------------------------
+    def _labelled(self, cache: Dict[str, Counter], name: str, help_text: str,
+                  **labels) -> Counter:
+        key = next(iter(labels.values()))
+        counter = cache.get(key)
+        if counter is None:
+            counter = cache[key] = self.registry.counter(
+                name, help=help_text, **labels
+            )
+        return counter
+
     def record_batch(
-        self, fn: str, n_inputs: int, tiers: Sequence[str], seconds: float
+        self,
+        fn: str,
+        n_inputs: int,
+        tiers: Sequence[str],
+        seconds: float,
+        n_requests: int = 1,
     ) -> None:
-        """One evaluator batch: inputs swept, per-result tiers, eval wall."""
-        with self._lock:
-            self.requests_by_fn[fn] = self.requests_by_fn.get(fn, 0) + 1
-            self.inputs_by_fn[fn] = self.inputs_by_fn.get(fn, 0) + n_inputs
-            for tier in tiers:
-                self.results_by_tier[tier] = self.results_by_tier.get(tier, 0) + 1
-            self.batch_sizes.observe(n_inputs)
-            self.eval_latency.observe(seconds)
+        """One evaluator batch: inputs swept, per-result tiers, eval wall.
+
+        ``n_requests`` is how many client requests the batch answers
+        (> 1 when the dispatcher coalesced); each is counted once in
+        ``requests_by_fn`` while the batch itself lands in
+        ``batches_by_fn``.
+        """
+        self._labelled(
+            self._requests_by_fn, "repro_serve_requests_total",
+            "Client requests per function.", fn=fn,
+        ).inc(n_requests)
+        self._labelled(
+            self._batches_by_fn, "repro_serve_batches_total",
+            "Evaluator batches per function.", fn=fn,
+        ).inc()
+        self._labelled(
+            self._inputs_by_fn, "repro_serve_inputs_total",
+            "Inputs evaluated per function.", fn=fn,
+        ).inc(n_inputs)
+        for tier in tiers:
+            self._labelled(
+                self._results_by_tier, "repro_serve_results_total",
+                "Results per evaluation tier.", tier=tier,
+            ).inc()
+        self.batch_sizes.observe(n_inputs)
+        self.eval_latency.observe(seconds)
 
     def record_request(self, seconds: float) -> None:
         """Server-side wall clock of one protocol request."""
-        with self._lock:
-            self.request_latency.observe(seconds)
+        self.request_latency.observe(seconds)
 
     def record_error(self) -> None:
         """A request that produced an error response."""
-        with self._lock:
-            self.errors += 1
+        self.errors.inc()
 
     def record_overload(self) -> None:
         """A request shed by backpressure (bounded pending queue full)."""
-        with self._lock:
-            self.errors += 1
-            self.overloaded += 1
+        self.errors.inc()
+        self.overloaded.inc()
 
     def record_deadline(self) -> None:
         """A request cancelled at its deadline."""
-        with self._lock:
-            self.errors += 1
-            self.deadline_exceeded += 1
+        self.errors.inc()
+        self.deadline_exceeded.inc()
 
     def record_coalesce(self, n_requests: int) -> None:
         """One dispatcher flush that fused ``n_requests`` client requests."""
-        with self._lock:
-            self.coalesced_flushes += 1
-            self.coalesced_requests += n_requests
+        self.coalesced_flushes.inc()
+        self.coalesced_requests.inc(n_requests)
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _values(cache: Dict[str, Counter]) -> Dict[str, int]:
+        return {key: int(c.value) for key, c in sorted(cache.items())}
+
     def snapshot(self) -> dict:
         """The ``stats`` response body (all counters + histograms)."""
-        with self._lock:
-            return {
-                "requests_by_fn": dict(self.requests_by_fn),
-                "inputs_by_fn": dict(self.inputs_by_fn),
-                "results_by_tier": dict(self.results_by_tier),
-                "errors": self.errors,
-                "overloaded": self.overloaded,
-                "deadline_exceeded": self.deadline_exceeded,
-                "coalesced_flushes": self.coalesced_flushes,
-                "coalesced_requests": self.coalesced_requests,
-                "batch_sizes": self.batch_sizes.snapshot(),
-                "eval_latency_s": self.eval_latency.snapshot(),
-                "request_latency_s": self.request_latency.snapshot(),
-            }
+        return {
+            "requests_by_fn": self._values(self._requests_by_fn),
+            "batches_by_fn": self._values(self._batches_by_fn),
+            "inputs_by_fn": self._values(self._inputs_by_fn),
+            "results_by_tier": self._values(self._results_by_tier),
+            "errors": int(self.errors.value),
+            "overloaded": int(self.overloaded.value),
+            "deadline_exceeded": int(self.deadline_exceeded.value),
+            "coalesced_flushes": int(self.coalesced_flushes.value),
+            "coalesced_requests": int(self.coalesced_requests.value),
+            "batch_sizes": self.batch_sizes.snapshot(),
+            "eval_latency_s": self.eval_latency.snapshot(),
+            "request_latency_s": self.request_latency.snapshot(),
+        }
+
+    def to_json(self) -> dict:
+        """The backing registry as registry-model JSON."""
+        return self.registry.to_json()
+
+    def to_prometheus(self) -> str:
+        """The backing registry in Prometheus text exposition format."""
+        return self.registry.to_prometheus()

@@ -17,6 +17,11 @@ pipelined and arrive out of order).  Operations:
     Metrics snapshot (counters, batch-size and latency histograms,
     fallback-tier counts).  ``"/stats"`` is accepted as an alias.
 
+``metrics``
+    Unified observability dump: the response carries the metric
+    registry as JSON under ``"metrics"`` and as Prometheus text
+    exposition format under ``"prometheus"`` (scrape-ready).
+
 ``info``
     Registry description: family, formats, loaded + missing functions.
 

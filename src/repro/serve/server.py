@@ -48,6 +48,8 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..fp.rounding import RoundingMode
+from ..obs import get_registry, get_tracer
+from ..obs import span as obs_span
 from ..resilience.faults import maybe_fire
 from .evaluator import BatchEvaluator, BatchResult, OracleUnavailable, resolve_mode
 from .metrics import ServerMetrics
@@ -128,11 +130,17 @@ class BatchingDispatcher:
         if bucket.timer is not None:
             bucket.timer.cancel()
         fn, level, mode = key
-        self.metrics.record_coalesce(len(bucket.futures))
+        n_requests = len(bucket.futures)
+        self.metrics.record_coalesce(n_requests)
         try:
-            result = self.evaluator.evaluate(
-                fn, bucket.inputs, level=level, mode=mode
-            )
+            with obs_span(
+                "serve.flush", fn=fn, level=level, mode=mode,
+                n_inputs=len(bucket.inputs), n_requests=n_requests,
+            ):
+                result = self.evaluator.evaluate(
+                    fn, bucket.inputs, level=level, mode=mode,
+                    n_requests=n_requests,
+                )
         except Exception as e:  # propagate to every fused caller
             for _, _, fut in bucket.futures:
                 if not fut.done():
@@ -288,10 +296,13 @@ class ServeServer:
     ) -> None:
         loop = asyncio.get_running_loop()
         t0 = loop.time()
+        ts = time.time()
+        op_name = "invalid"
         req_id: Any = None
         try:
             obj = parse_request(line)
             req_id = obj.get("id")
+            op_name = obj["op"]
             # Probes bypass admission control: health checks must keep
             # answering on an overloaded or draining server.
             if obj["op"] in ("ping", "health"):
@@ -350,7 +361,14 @@ class ServeServer:
             # the server must never have.
             self.metrics.record_error()
             response = error_response(req_id, f"internal error: {e}")
-        self.metrics.record_request(loop.time() - t0)
+        seconds = loop.time() - t0
+        self.metrics.record_request(seconds)
+        # Handlers interleave on the loop thread, so the request span is
+        # recorded post hoc rather than held open across awaits.
+        get_tracer().record_span(
+            "serve.request", ts, seconds,
+            op=op_name, ok=bool(response.get("ok")),
+        )
         async with write_lock:
             writer.write(encode_response(response))
             await writer.drain()
@@ -371,6 +389,13 @@ class ServeServer:
             stats = self.metrics.snapshot()
             stats["breaker"] = self.evaluator.breaker.snapshot()
             return {"ok": True, "stats": stats}
+        if op == "metrics":
+            # The server's own registry plus the process-global one
+            # (phase/pool/cache instruments); family names are disjoint.
+            payload = self.metrics.to_json()
+            payload.update(get_registry().to_json())
+            text = self.metrics.to_prometheus() + get_registry().to_prometheus()
+            return {"ok": True, "metrics": payload, "prometheus": text}
         if op == "info":
             return {"ok": True, "info": self.registry.describe()}
         if op == "ping":
@@ -611,6 +636,15 @@ class ServeClient:
     def stats(self) -> dict:
         """The server's metrics snapshot."""
         return self.request({"op": "stats"})["stats"]
+
+    def metrics(self, fmt: str = "json"):
+        """The server's unified metrics dump.
+
+        ``fmt="json"`` returns the registry-model dict; ``"prometheus"``
+        returns the text exposition format.
+        """
+        resp = self.request({"op": "metrics"})
+        return resp["prometheus"] if fmt == "prometheus" else resp["metrics"]
 
     def info(self) -> dict:
         """The server's registry description."""

@@ -19,7 +19,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..core.search import GeneratedFunction, evaluate_generated
+from ..core.search import GeneratedFunction
 from ..fp.doubles import to_double_down, to_double_up
 from ..fp.enumerate import all_finite
 from ..fp.intervals import rounding_interval

@@ -15,7 +15,6 @@ the theorem is validated, not assumed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from fractions import Fraction
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..fp.encode import FPValue
@@ -66,8 +65,6 @@ def verify_derived_format(
 ) -> DerivedFormatReport:
     """Evaluate the level's polynomial on every ``fmt`` input and compare
     the re-rounded double against the oracle for all requested modes."""
-    import math
-
     from ..core.search import evaluate_generated
     from ..libm.runtime import round_double_to
 

@@ -6,7 +6,7 @@ from fractions import Fraction
 import numpy as np
 import pytest
 
-from repro.core.clarkson import ClarksonResult, default_sample_size, solve_constraints
+from repro.core.clarkson import default_sample_size, solve_constraints
 from repro.core.constraints import ConstraintSystem, ReducedConstraint
 from repro.core.polynomial import PolyShape, eval_exact
 

@@ -6,7 +6,7 @@ from fractions import Fraction
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.evalerror import ErrorBound, UNIT, generated_error_bound, horner_error_bound
+from repro.core.evalerror import UNIT, generated_error_bound, horner_error_bound
 from repro.core.polynomial import PolyShape, eval_double_horner, eval_exact
 
 

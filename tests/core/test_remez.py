@@ -22,7 +22,9 @@ class TestChebyshevNodes:
 
 class TestRemezFit:
     def test_exact_polynomial_recovered(self):
-        f = lambda x: 3.0 - 2.0 * x + 0.5 * x * x
+        def f(x):
+            return 3.0 - 2.0 * x + 0.5 * x * x
+
         coeffs, err, _ = remez_fit(f, -1.0, 1.0, 4)
         assert err < 1e-12
         assert coeffs[0] == pytest.approx(3.0, abs=1e-9)
@@ -99,7 +101,9 @@ class TestFitShape:
 
     def test_relative_weighting_near_zero(self):
         # log2(1+r) vanishes at 0: a relative fit must stay accurate there.
-        f = lambda r: math.log2(1.0 + r)
+        def f(r):
+            return math.log2(1.0 + r)
+
         shape = PolyShape.dense(4)
         fit = fit_shape(f, 1e-7, 2.0**-5, shape, relative=True)
         for r in (1e-6, 1e-4, 0.01, 0.03):

@@ -5,7 +5,6 @@ import pytest
 
 from repro.core import collect_constraints, runtime_interval_failures
 from repro.core.constraints import ConstraintSystem
-from repro.core.polynomial import PolyShape
 from repro.core.rlibm_all import generate_rlibm_all, solve_piece_direct
 from repro.funcs import TINY_CONFIG, make_pipeline
 

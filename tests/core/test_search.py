@@ -19,7 +19,7 @@ from repro.core.search import (
     _split_by_r,
 )
 from repro.core.polynomial import ProgressivePolynomial
-from repro.fp import IEEE_MODES, RoundingMode, all_finite, round_real
+from repro.fp import RoundingMode, all_finite, round_real
 from repro.funcs import TINY_CONFIG, make_pipeline
 
 

@@ -2,11 +2,8 @@
 
 import random
 
-import pytest
-
 from repro.fp import (
     FLOAT32,
-    FPValue,
     Kind,
     T8,
     T10,

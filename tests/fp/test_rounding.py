@@ -4,7 +4,6 @@ import math
 from fractions import Fraction
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.fp import (

@@ -10,7 +10,7 @@ import math
 from fractions import Fraction
 
 import pytest
-from hypothesis import assume, given, settings, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.fp import FPValue, T10, all_finite
 from repro.funcs import TINY_CONFIG, make_pipeline, PIPELINES
@@ -296,7 +296,7 @@ class TestConstraintGeneration:
         pipe = PIPES["exp2"]
         v = poly_path_inputs("exp2", count=1)[0]
         y = pipe.special_output(0, v.to_float())
-        from repro.fp import RoundingMode, round_real
+        from repro.fp import RoundingMode
 
         target = TINY_CONFIG.ro_target(0)
         want = ORACLE.correctly_rounded("exp2", v.value, target, RoundingMode.RTO)

@@ -1,12 +1,11 @@
 """Cross-module integration: determinism, corruption detection, round trips."""
 
 import json
-from fractions import Fraction
 
 import pytest
 
 from repro.core import evaluate_generated, generate_function
-from repro.fp import FPValue, IEEE_MODES, RoundingMode, T8, all_finite
+from repro.fp import IEEE_MODES, T8, all_finite
 from repro.funcs import TINY_CONFIG, make_pipeline
 from repro.libm.artifacts import generated_from_dict, generated_to_dict
 from repro.libm.baselines import GeneratedLibrary

@@ -5,7 +5,6 @@ sanity, special-case shape) that hold for *any* regeneration seed, so
 they pin the artifact schema without freezing exact coefficients."""
 
 import math
-from fractions import Fraction
 
 import pytest
 

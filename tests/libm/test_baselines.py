@@ -1,6 +1,5 @@
 """The comparison libraries: minimax, crlibm-style, generated adapters."""
 
-import math
 
 import pytest
 
@@ -11,7 +10,6 @@ from repro.funcs import TINY_CONFIG, make_pipeline
 from repro.libm.baselines import (
     CrlibmStyleLibrary,
     GeneratedLibrary,
-    MinimaxLibrary,
     build_minimax_function,
     build_minimax_library,
     kernel_functions,
@@ -99,7 +97,6 @@ class TestCrlibmStyle:
     def crlibm_like(self, oracle):
         wide_family = wide_family_for(TINY_CONFIG, 4)
         pipe = make_pipeline("exp2", wide_family, oracle)
-        inputs = [[FPValue(wide_family.largest, 0)]]
         # Generate from the tiny family's inputs expressed in W.
         from repro.fp import exact_bits
 

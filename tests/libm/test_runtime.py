@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.fp import FPValue, RoundingMode, T8, T10, round_real
+from repro.fp import FPValue, RoundingMode, T8, T10
 from repro.funcs import TINY_CONFIG
 from repro.libm import RlibmProg, round_double_to
 from repro.libm.runtime import RlibmProgFunction

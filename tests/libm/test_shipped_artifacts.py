@@ -6,11 +6,10 @@ they skip if a family hasn't been generated yet.
 """
 
 import math
-from fractions import Fraction
 
 import pytest
 
-from repro.fp import RoundingMode, round_real
+from repro.fp import RoundingMode
 from repro.funcs import MINI_CONFIG
 from repro.libm import RlibmProg, available_artifacts
 from repro.mp import FUNCTION_NAMES

@@ -7,7 +7,7 @@ import pytest
 
 from repro.core import collect_constraints, evaluate_generated
 from repro.core.rlibm_all import generate_rlibm_all
-from repro.fp import T8, T10, all_finite
+from repro.fp import T10, all_finite
 from repro.funcs import TINY_CONFIG, make_pipeline
 from repro.libm.vectorized import VectorizedFunction, _vrint, round_doubles_to_precision
 

@@ -6,7 +6,6 @@ import mpmath
 
 from repro.mp import consts
 
-from .conftest import reference
 
 
 def known(fn_name: str, prec: int) -> Fraction:

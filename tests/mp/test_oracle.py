@@ -10,7 +10,6 @@ from repro.fp import (
     BFLOAT16,
     FLOAT16,
     FLOAT32,
-    FPValue,
     IEEE_MODES,
     RoundingMode,
     round_real,

@@ -1,0 +1,24 @@
+"""Isolation for the process-global observability state."""
+
+import pytest
+
+from repro.obs import reset_profile, reset_registry, reset_tracing
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state(monkeypatch):
+    """Every test starts and ends with pristine global tracer/registry.
+
+    The tracer binds from ``REPRO_TRACE`` on first use, so the env vars
+    are scrubbed too (monkeypatch restores the user's values after).
+    """
+    for var in ("REPRO_TRACE", "REPRO_TRACE_PARENT", "REPRO_PROFILE",
+                "REPRO_PROFILE_OUT"):
+        monkeypatch.delenv(var, raising=False)
+    reset_tracing()
+    reset_profile()
+    reset_registry()
+    yield
+    reset_tracing()
+    reset_profile()
+    reset_registry()

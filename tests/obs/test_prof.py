@@ -1,0 +1,75 @@
+"""Per-span cProfile hooks."""
+
+import pstats
+
+from repro.obs import (
+    configure_tracing,
+    profile_stats_text,
+    profiled_span_count,
+    reset_profile,
+    reset_tracing,
+    span,
+    write_profile,
+)
+from repro.obs.prof import profiled_region
+
+
+def _busy():
+    return sum(i * i for i in range(200))
+
+
+class TestProfiledRegion:
+    def test_disabled_by_default(self):
+        with profiled_region("anything"):
+            _busy()
+        assert profiled_span_count() == 0
+        assert profile_stats_text() == ""
+        assert write_profile() is None
+
+    def test_matching_spans_accumulate(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_PROFILE", "hot.loop")
+        for _ in range(3):
+            with profiled_region("hot.loop"):
+                _busy()
+            with profiled_region("cold.path"):
+                _busy()
+        assert profiled_span_count() == 3
+        text = profile_stats_text()
+        assert "function calls" in text
+
+        out = tmp_path / "prof.pstats"
+        assert write_profile(str(out)) == str(out)
+        stats = pstats.Stats(str(out))
+        assert stats.total_calls > 0
+
+        reset_profile()
+        assert profiled_span_count() == 0
+
+    def test_star_profiles_outermost_only(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "*")
+        with profiled_region("outer"):
+            with profiled_region("inner"):
+                _busy()
+        # One profile: the inner region is covered by the outer one.
+        assert profiled_span_count() == 1
+
+    def test_spans_route_through_profiler(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_PROFILE", "traced.region")
+        configure_tracing(str(tmp_path / "trace.jsonl"))
+        try:
+            with span("traced.region"):
+                _busy()
+            with span("other.region"):
+                _busy()
+        finally:
+            reset_tracing()
+        assert profiled_span_count() == 1
+
+    def test_profiling_works_without_tracing(self, monkeypatch):
+        # Regression: the disabled-tracer fast path used to bypass the
+        # profiler, so REPRO_PROFILE silently did nothing unless a
+        # trace sink was also configured.
+        monkeypatch.setenv("REPRO_PROFILE", "untraced.region")
+        with span("untraced.region"):
+            _busy()
+        assert profiled_span_count() == 1

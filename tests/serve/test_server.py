@@ -86,6 +86,33 @@ def test_pipelined_requests_coalesce(server):
     assert after["batch_sizes"]["max"] > 1
 
 
+def test_coalesced_requests_counted_once(server):
+    # Regression: requests_by_fn used to count one *batch* per flush, so
+    # coalesced requests were under-counted as a single request (and a
+    # direct batch over-counted relative to them).  The contract now:
+    # requests_by_fn counts client requests, batches_by_fn counts
+    # evaluator batches.
+    fmt = TINY_CONFIG.formats[0]
+    xs = [v.to_float() for v in list(all_finite(fmt))[:24]]
+    with ServeClient("127.0.0.1", server.port) as c:
+        before = server.metrics.snapshot()
+        answers = c.eval_many(
+            [{"fn": "exp2", "inputs": [x], "fmt": "t8"} for x in xs]
+        )
+    assert all(r["ok"] for r in answers)
+    after = server.metrics.snapshot()
+    requests = (
+        after["requests_by_fn"]["exp2"] - before["requests_by_fn"].get("exp2", 0)
+    )
+    batches = (
+        after["batches_by_fn"]["exp2"] - before["batches_by_fn"].get("exp2", 0)
+    )
+    flushes = after["coalesced_flushes"] - before["coalesced_flushes"]
+    assert requests == 24          # every client request counted exactly once
+    assert batches == flushes      # one batch per evaluator flush
+    assert batches < requests      # and coalescing actually fused some
+
+
 def test_coalesced_slices_match_batch(server, scalar_lib):
     # Fused responses must carry exactly each request's slice.
     fmt = TINY_CONFIG.formats[1]

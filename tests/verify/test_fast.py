@@ -1,7 +1,6 @@
 """Vectorized RO-interval verification."""
 
 import numpy as np
-import pytest
 
 from repro.funcs import TINY_CONFIG
 from repro.verify.fast import fast_verify, fast_verify_level
@@ -20,8 +19,6 @@ class TestFastVerify:
             assert rep.screened_ok >= 0.9 * rep.total
 
     def test_detects_corruption(self, tiny_generated):
-        import dataclasses
-
         from repro.core.polynomial import ProgressivePolynomial
         from repro.core.search import GeneratedFunction, Piece
         from fractions import Fraction
