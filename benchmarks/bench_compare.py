@@ -15,16 +15,26 @@ a machine-readable verdict::
      "metrics": [{"name": ..., "baseline": ..., "current": ...,
                   "direction": "higher", "change": -0.41, "ok": false}, ...]}
 
-Two payload shapes are understood, auto-detected by their keys:
+Three payload shapes are understood, auto-detected by their keys:
 
 * generation (``bench_generation_time.py --json``): per-function
   ``wall_seconds`` plus the summary total — lower is better;
 * serve (``bench_serve.py --json``): per-batch-size ``inputs_per_sec``
-  and the batched-vs-single speedup — higher is better.
+  and the batched-vs-single speedup — higher is better;
+* serve_fleet (``bench_serve_fleet.py --json``): per-worker-count,
+  per-batch-size ``inputs_per_sec`` plus the fan-in scenario and the
+  best batch-1024 summary — higher is better.
 
 A metric present in the baseline but missing from the candidate counts
 as a regression (coverage loss); metrics that only exist in the
 candidate are reported but never gate.
+
+Payloads carry a ``config`` block describing how they were measured
+(wire protocol, worker count).  When a config key exists in *both*
+payloads with different values the comparison is skipped (exit 0 with a
+note) — different configs answer different questions — but a key absent
+from one side never skips, so baselines committed before a config key
+existed keep gating.
 """
 
 import argparse
@@ -61,15 +71,58 @@ def _serve_metrics(payload):
     return out
 
 
+def _serve_fleet_metrics(payload):
+    out = {}
+    for fleet in payload.get("fleets", []):
+        w = fleet["workers"]
+        for row in fleet.get("series", []):
+            out[f"serve_fleet.w{w}.batch_{row['batch']}.inputs_per_sec"] = (
+                row["inputs_per_sec"], HIGHER,
+            )
+        fanin = fleet.get("fanin")
+        if fanin:
+            out[f"serve_fleet.w{w}.fanin.inputs_per_sec"] = (
+                fanin["inputs_per_sec"], HIGHER,
+            )
+    best = payload.get("summary", {}).get("best_batch_1024")
+    if best:
+        out["serve_fleet.best_batch_1024.inputs_per_sec"] = (
+            best["inputs_per_sec"], HIGHER,
+        )
+    return out
+
+
 def extract_metrics(payload):
     """``name -> (value, direction)`` for one payload; kind auto-detected."""
+    # "fleets" first: the fleet payload also carries a scalar
+    # "functions" count, which must not read as a generation bench.
+    if "fleets" in payload:
+        return "serve_fleet", _serve_fleet_metrics(payload)
     if "functions" in payload:
         return "generation", _generation_metrics(payload)
     if "series" in payload:
         return "serve", _serve_metrics(payload)
     raise ValueError(
-        "unrecognised payload: expected a 'functions' (generation) or "
-        "'series' (serve) key"
+        "unrecognised payload: expected a 'functions' (generation), "
+        "'fleets' (serve_fleet), or 'series' (serve) key"
+    )
+
+
+def config_mismatches(base_payload, cur_payload):
+    """Config keys present in *both* payloads with different values.
+
+    A payload's ``config`` block records how it was measured (wire
+    protocol, worker count, ...).  Two payloads measured under different
+    configs are answering different questions, so the gate skips rather
+    than fail — but a key missing from one side (e.g. a baseline
+    committed before the key existed) is not a mismatch, so old
+    baselines still gate new measurements.
+    """
+    base_cfg = base_payload.get("config") or {}
+    cur_cfg = cur_payload.get("config") or {}
+    return sorted(
+        k for k in base_cfg.keys() & cur_cfg.keys()
+        if base_cfg[k] != cur_cfg[k]
     )
 
 
@@ -192,9 +245,30 @@ def main(argv=None):
         ap.error("--tolerance must be >= 0")
 
     try:
-        verdict = compare_payloads(
-            _load(args.baseline), _load(args.candidate), args.tolerance
-        )
+        base_payload, cur_payload = _load(args.baseline), _load(args.candidate)
+        mismatched = config_mismatches(base_payload, cur_payload)
+        if mismatched:
+            # Different measurement configs: incomparable, not a
+            # regression.  Exit 0 so a deliberate config change (say,
+            # flipping the sweep protocol) doesn't fail CI before the
+            # new baseline lands; the note keeps the skip auditable.
+            note = {
+                "ok": True,
+                "skipped": True,
+                "reason": "config mismatch: " + ", ".join(
+                    f"{k} ({base_payload['config'][k]!r} -> "
+                    f"{cur_payload['config'][k]!r})" for k in mismatched
+                ),
+            }
+            if args.json:
+                print(json.dumps(note, indent=1))
+            else:
+                print(f"SKIP: {note['reason']}; commit the fresh payload "
+                      f"as the new baseline to re-arm the gate")
+            if args.out:
+                Path(args.out).write_text(json.dumps(note, indent=1) + "\n")
+            return 0
+        verdict = compare_payloads(base_payload, cur_payload, args.tolerance)
     except ValueError as e:
         print(f"bench_compare: {e}", file=sys.stderr)
         return 2

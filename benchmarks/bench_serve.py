@@ -2,8 +2,11 @@
 
 The batch-evaluation server's reason to exist is that one vectorized
 kernel sweep beats N scalar round trips; this benchmark measures by how
-much, through the real TCP path (JSON protocol, coalescing dispatcher,
-numpy kernel, vectorized rounding).
+much, through the real TCP path (negotiated wire protocol — binary.v1
+frames by default, ``--protocol json`` for the line-delimited fallback —
+coalescing dispatcher, numpy kernel, vectorized rounding).  The payload
+records the measurement config (protocol, worker count) so the compare
+tool never diffs apples against oranges.
 
 Two modes:
 
@@ -42,7 +45,12 @@ if __package__ in (None, ""):  # script mode: fix up sys.path ourselves
 from repro.fp import IEEE_MODES, all_finite
 from repro.funcs import TINY_CONFIG
 from repro.mp import FUNCTION_NAMES
-from repro.serve import ServeClient, ServerThread, ServingRegistry
+from repro.serve import (
+    PROTOCOL_NAME,
+    ServeClient,
+    ServerThread,
+    ServingRegistry,
+)
 
 BATCH_SIZES = (1, 8, 64, 256, 1024)
 
@@ -101,14 +109,17 @@ def _bench_batch_size(client, fn, fmt, batch, *, repeats=3, **kw):
     return max(rows, key=lambda row: row["inputs_per_sec"])
 
 
-def run_bench(fn="exp2", out_path=None, batch_sizes=BATCH_SIZES):
+def run_bench(fn="exp2", out_path=None, batch_sizes=BATCH_SIZES,
+              protocol="binary"):
     """The --json sweep; returns the result dict."""
     fmt = TINY_CONFIG.formats[-1]
     registry = ServingRegistry("tiny", names=(fn,))
     # Zero window: a sequential client can never coalesce with itself,
     # so holding its requests would only tax the latency numbers.
     with ServerThread(registry, batch_window=0.0) as srv:
-        with ServeClient("127.0.0.1", srv.port) as client:
+        with ServeClient("127.0.0.1", srv.port, protocol=protocol) as client:
+            # What actually got negotiated, not what was asked for.
+            wire = "binary" if client.protocol == PROTOCOL_NAME else "json"
             series = [
                 _bench_batch_size(client, fn, fmt, b) for b in batch_sizes
             ]
@@ -123,6 +134,10 @@ def run_bench(fn="exp2", out_path=None, batch_sizes=BATCH_SIZES):
         "family": "tiny",
         "function": fn,
         "format": fmt.display_name,
+        # Measurement configuration: payloads measured under different
+        # configs are not comparable, and bench_compare.py skips (rather
+        # than gates) when any of these keys disagree across payloads.
+        "config": {"protocol": wire, "workers": 0},
         "series": series,
         "speedup_batched_vs_single": speedup,
         "results_by_tier": stats["results_by_tier"],
@@ -194,6 +209,11 @@ def main(argv=None):
     ap.add_argument("--smoke", action="store_true", help="CI smoke gate")
     ap.add_argument("--function", default="exp2")
     ap.add_argument(
+        "--protocol", choices=("auto", "binary", "json"), default="binary",
+        help="wire protocol for the sweep client (recorded in the payload;"
+             " default binary)",
+    )
+    ap.add_argument(
         "--out", default=str(_HERE.parent / "BENCH_serve.json"),
         metavar="PATH", help="where --json writes its result",
     )
@@ -204,7 +224,7 @@ def main(argv=None):
     # gate first, then the throughput sweep; a smoke failure wins.
     rc = run_smoke() if args.smoke else 0
     if args.json:
-        run_bench(args.function, args.out)
+        run_bench(args.function, args.out, protocol=args.protocol)
     return rc
 
 

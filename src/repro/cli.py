@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import signal
 import sys
 
 from . import api
@@ -194,38 +195,88 @@ def cmd_info(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    """`serve`: run the batch-evaluation server until interrupted."""
+    """`serve`: run the batch-evaluation server until interrupted.
+
+    ``--workers N`` (N >= 1) runs the sharded fleet instead of a single
+    in-process evaluator: a router on ``host:port`` plus N shared-nothing
+    worker processes, each loading only its consistent-hash shard of the
+    ``(fn, level)`` keys.
+    """
     import asyncio
 
-    from .serve import ServeServer, ServingRegistry
+    from .serve import (
+        FleetRouter,
+        ServeServer,
+        ServingRegistry,
+        tune_gc_for_serving,
+    )
 
     config = _family_of(args.family)
-    registry = ServingRegistry(config, args.dir, names=args.functions)
-    if registry.missing:
-        print(
-            f"warning: no artifacts for {sorted(registry.missing)}; "
-            "serving those from the oracle tier",
-            flush=True,
-        )
 
     async def run() -> None:
-        server = ServeServer(
-            registry,
-            args.host,
-            args.port,
-            max_batch=args.max_batch,
-            batch_window=args.batch_window_ms / 1000.0,
-            max_pending=args.max_pending,
-            request_deadline=args.request_deadline,
-        )
-        await server.start()
-        print(
-            f"serving family {config.name!r} on {args.host}:{server.port} "
-            f"(batch window {args.batch_window_ms}ms, max batch {args.max_batch})",
-            flush=True,
-        )
+        if args.workers:
+            server = FleetRouter(
+                config,
+                args.dir,
+                args.host,
+                args.port,
+                n_workers=args.workers,
+                names=args.functions,
+                max_batch=args.max_batch,
+                batch_window=args.batch_window_ms / 1000.0,
+                max_pending=args.max_pending,
+                worker_max_inflight=args.max_pending,
+                request_deadline=args.request_deadline,
+            )
+            await server.start()
+            print(
+                f"serving family {config.name!r} on {args.host}:{server.port} "
+                f"(fleet: {args.workers} workers, batch window "
+                f"{args.batch_window_ms}ms, max batch {args.max_batch})",
+                flush=True,
+            )
+            for w in server.workers:
+                print(
+                    f"  worker {w.index} on 127.0.0.1:{w.port} serving "
+                    f"{', '.join(w.names)}",
+                    flush=True,
+                )
+        else:
+            registry = ServingRegistry(config, args.dir, names=args.functions)
+            if registry.missing:
+                print(
+                    f"warning: no artifacts for {sorted(registry.missing)}; "
+                    "serving those from the oracle tier",
+                    flush=True,
+                )
+            server = ServeServer(
+                registry,
+                args.host,
+                args.port,
+                max_batch=args.max_batch,
+                batch_window=args.batch_window_ms / 1000.0,
+                max_pending=args.max_pending,
+                request_deadline=args.request_deadline,
+            )
+            await server.start()
+            print(
+                f"serving family {config.name!r} on {args.host}:{server.port} "
+                f"(batch window {args.batch_window_ms}ms, max batch {args.max_batch})",
+                flush=True,
+            )
+        # This process exists only to serve: trade collection frequency
+        # for tail latency now that the startup graph is in place.
+        tune_gc_for_serving()
+        # SIGTERM drains exactly like Ctrl-C: stop accepting, answer
+        # in-flight work, shut the fleet's workers down.
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
         try:
-            await server.serve_forever()
+            loop.add_signal_handler(signal.SIGTERM, stop.set)
+        except (NotImplementedError, RuntimeError):
+            pass
+        try:
+            await stop.wait()
         finally:
             await server.aclose()
 
@@ -279,6 +330,12 @@ def cmd_obs(args) -> int:
         from .serve import ServeClient
 
         with ServeClient(host or "127.0.0.1", int(port)) as client:
+            if args.health:
+                # Single servers answer with their own status; a fleet
+                # router adds a per-worker shard breakdown.
+                health = client.health()
+                print(_json.dumps(health, indent=2, sort_keys=True))
+                return 0 if health.get("status") in ("ok", "degraded") else 1
             if args.prometheus:
                 sys.stdout.write(client.metrics("prometheus"))
             else:
@@ -408,6 +465,13 @@ def main(argv=None) -> int:
         "--request-deadline", type=float, default=30.0,
         help="per-request deadline in seconds ('deadline_exceeded' error)",
     )
+    s.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="run a sharded fleet: a router on --host/--port plus N"
+             " shared-nothing evaluator worker processes, each loading"
+             " only its consistent-hash (fn, level) shard (0 = single"
+             " in-process server, the default)",
+    )
     add_trace_flag(s)
     s.set_defaults(func=cmd_serve)
 
@@ -438,7 +502,14 @@ def main(argv=None) -> int:
     o.add_argument(
         "--server", default=None, metavar="HOST:PORT",
         help="fetch the metrics from a running serve process instead of"
-             " dumping this process's registry",
+             " dumping this process's registry (a fleet router answers"
+             " with metrics merged across its workers)",
+    )
+    o.add_argument(
+        "--health", action="store_true",
+        help="with --server, print the health snapshot instead of metrics"
+             " (includes per-worker shard status against a fleet router);"
+             " exits non-zero unless status is ok/degraded",
     )
     o.set_defaults(func=cmd_obs)
 

@@ -40,13 +40,28 @@ from ..fp.rounding import RoundingMode
 _SHIFT_CAP = 60
 
 
+_SUPPORTED: Dict[Tuple[int, int], bool] = {}
+
+
 def supports_vector_rounding(fmt: FPFormat) -> bool:
     """True when the integer construction below is exact for ``fmt``.
 
     Requires the format to sit strictly inside binary64: the significand
     must truncate (not extend) and ``max_value``/``overflow_threshold``
     must be exactly representable as doubles for the overflow compares.
+
+    The verdict is cached per format: the exactness checks go through
+    :class:`~fractions.Fraction` arithmetic, and this predicate sits on
+    the serving hot path (once per evaluator batch).
     """
+    key = (fmt.total_bits, fmt.exponent_bits)
+    cached = _SUPPORTED.get(key)
+    if cached is None:
+        cached = _SUPPORTED[key] = _supports_vector_rounding(fmt)
+    return cached
+
+
+def _supports_vector_rounding(fmt: FPFormat) -> bool:
     if fmt.precision > 51 or fmt.exponent_bits > 11:
         return False
     if fmt.emax > 1020 or fmt.emin - fmt.mantissa_bits < -1020:

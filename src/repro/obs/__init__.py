@@ -25,6 +25,8 @@ from .metrics import (
     MetricsRegistry,
     exponential_buckets,
     get_registry,
+    merge_metrics_json,
+    prometheus_from_json,
     reset_registry,
 )
 from .phases import PhaseTimings, format_phase_report
@@ -61,9 +63,11 @@ __all__ = [
     "format_phase_report",
     "get_registry",
     "get_tracer",
+    "merge_metrics_json",
     "profile_stats_text",
     "profile_target",
     "profiled_span_count",
+    "prometheus_from_json",
     "propagate_to_children",
     "read_trace",
     "reset_profile",

@@ -328,6 +328,164 @@ def _histogram_lines(name: str, label_key, hist: Histogram) -> List[str]:
 
 
 # ----------------------------------------------------------------------
+# Cross-process aggregation (the serve fleet's ``metrics`` op)
+# ----------------------------------------------------------------------
+def merge_metrics_json(payloads: Sequence[dict]) -> dict:
+    """Several :meth:`MetricsRegistry.to_json` payloads summed into one.
+
+    The fleet router scrapes each worker's registry JSON and merges them
+    with its own: counter and gauge series with identical labels are
+    summed; histogram series are merged bucket-by-bucket (union of
+    bounds), with ``count``/``sum`` added, ``max`` taken, and
+    ``p50``/``p99`` recomputed from the merged buckets.  A family whose
+    kind disagrees across payloads keeps the first payload's series and
+    drops the conflicting ones — a merge must never raise over one
+    worker's bad data.
+    """
+    merged: Dict[str, dict] = {}
+    for payload in payloads:
+        if not isinstance(payload, dict):
+            continue
+        for name, fam in payload.items():
+            if not isinstance(fam, dict):
+                continue
+            kind = fam.get("kind", "untyped")
+            entry = merged.get(name)
+            if entry is None:
+                entry = merged[name] = {
+                    "kind": kind, "help": fam.get("help", ""), "series": {},
+                }
+            elif entry["kind"] != kind:
+                continue
+            for row in fam.get("series", ()):
+                if not isinstance(row, dict):
+                    continue
+                labels = row.get("labels") or {}
+                key = tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+                if "buckets" in row:
+                    _merge_histogram_row(entry["series"], key, row)
+                else:
+                    slot = entry["series"].setdefault(
+                        key, {"labels": dict(key), "value": 0}
+                    )
+                    if "value" in slot:
+                        slot["value"] += row.get("value", 0)
+
+    out: Dict[str, dict] = {}
+    for name in sorted(merged):
+        entry = merged[name]
+        series = [
+            _finalize_row(entry["series"][key])
+            for key in sorted(entry["series"])
+        ]
+        out[name] = {
+            "kind": entry["kind"], "help": entry["help"], "series": series,
+        }
+    return out
+
+
+def _bucket_le(le) -> float:
+    return math.inf if le in ("inf", "+Inf") else float(le)
+
+
+def _merge_histogram_row(series: dict, key, row: dict) -> None:
+    slot = series.setdefault(
+        key,
+        {"labels": dict(key), "bounds": {}, "count": 0, "sum": 0.0, "max": 0.0},
+    )
+    if "bounds" not in slot:  # kind clash within one family: keep first
+        return
+    for bucket in row.get("buckets", ()):
+        le = _bucket_le(bucket.get("le", "inf"))
+        slot["bounds"][le] = slot["bounds"].get(le, 0) + int(
+            bucket.get("count", 0)
+        )
+    slot["count"] += int(row.get("count", 0))
+    slot["sum"] += float(row.get("sum", 0.0))
+    slot["max"] = max(slot["max"], float(row.get("max", 0.0)))
+
+
+def _finalize_row(slot: dict) -> dict:
+    if "bounds" not in slot:
+        return slot
+    bounds = sorted(slot["bounds"])
+    counts = [slot["bounds"][b] for b in bounds]
+    total, total_sum, vmax = slot["count"], slot["sum"], slot["max"]
+
+    def quantile(q: float) -> float:
+        if total == 0:
+            return 0.0
+        rank = q * total
+        seen = 0
+        for b, c in zip(bounds, counts):
+            seen += c
+            if seen >= rank:
+                return vmax if math.isinf(b) else b
+        return vmax
+
+    return {
+        "labels": slot["labels"],
+        "buckets": [
+            {"le": "inf" if math.isinf(b) else b, "count": c}
+            for b, c in zip(bounds, counts)
+        ],
+        "count": total,
+        "sum": total_sum,
+        "mean": total_sum / total if total else 0.0,
+        "max": vmax,
+        "p50": quantile(0.50),
+        "p99": quantile(0.99),
+    }
+
+
+def prometheus_from_json(payload: dict) -> str:
+    """Registry-model JSON rendered as Prometheus text exposition.
+
+    The inverse of scraping: :meth:`MetricsRegistry.to_prometheus`
+    renders live instruments, this renders a (possibly merged) JSON
+    snapshot — the fleet router serves the merged fleet view through it.
+    """
+    lines: List[str] = []
+    for name in sorted(payload):
+        fam = payload[name]
+        if not isinstance(fam, dict):
+            continue
+        if fam.get("help"):
+            lines.append(f"# HELP {name} {_escape_help(fam['help'])}")
+        lines.append(f"# TYPE {name} {fam.get('kind', 'untyped')}")
+        for row in fam.get("series", ()):
+            label_key = tuple(sorted(
+                (str(k), str(v))
+                for k, v in (row.get("labels") or {}).items()
+            ))
+            if "buckets" in row:
+                cumulative = 0
+                for bucket in row["buckets"]:
+                    le = _bucket_le(bucket.get("le", "inf"))
+                    cumulative += int(bucket.get("count", 0))
+                    le_str = "+Inf" if math.isinf(le) else _format_bound(le)
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_label_str(label_key, [('le', le_str)])} "
+                        f"{cumulative}"
+                    )
+                lines.append(
+                    f"{name}_sum{_label_str(label_key)} "
+                    f"{_format_value(float(row.get('sum', 0.0)))}"
+                )
+                lines.append(
+                    f"{name}_count{_label_str(label_key)} "
+                    f"{int(row.get('count', 0))}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_label_str(label_key)} "
+                    f"{_format_value(row.get('value', 0))}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# ----------------------------------------------------------------------
 #: The process-global registry (oracle cache, pool, solver, phases).
 _REGISTRY = MetricsRegistry()
 

@@ -174,24 +174,39 @@ class Tracer:
         """Record a zero-duration span (retries, respawns, one-off facts)."""
         self.record_span(name, time.time(), 0.0, **attrs)
 
-    def record_span(self, name: str, ts: float, dur: float, **attrs) -> None:
+    def record_span(
+        self,
+        name: str,
+        ts: float,
+        dur: float,
+        *,
+        trace_id: Optional[str] = None,
+        parent_id: Optional[str] = None,
+        **attrs,
+    ) -> None:
         """Record an already-measured span without touching the stack.
 
         For regions whose start/end do not nest lexically — e.g. asyncio
         request handlers that interleave on one thread, where a
         context-manager span would mis-parent concurrent siblings.
+
+        ``trace_id``/``parent_id`` override the process-local context for
+        spans whose parent lives in *another* process: the serve fleet's
+        router ships its span context inside each request frame and the
+        worker records its span under the router's, so one request reads
+        as one tree across the hop.
         """
         if not self.enabled:
             return
         record = {
             "name": name,
-            "trace": self.trace_id,
+            "trace": trace_id or self.trace_id,
             "span": _new_id(),
             "ts": ts,
             "dur": dur,
             "pid": os.getpid(),
         }
-        parent = self.current_span_id()
+        parent = parent_id or self.current_span_id()
         if parent:
             record["parent"] = parent
         if attrs:

@@ -3,15 +3,25 @@
 The production-facing layer of the reproduction: load a family's
 progressive-polynomial artifacts once, then answer "correctly rounded
 ``fn(x)`` in this format under this rounding mode" for whole batches —
-over TCP (:class:`ServeServer`, newline-delimited JSON) or in process
-(:class:`BatchEvaluator`).  Concurrent scalar requests coalesce into
-single vectorized kernel sweeps; responses report which fallback tier
-(vector / scalar / oracle) produced each result; the ``stats`` op
-exposes counters and batch-size / latency histograms.
+over TCP (:class:`ServeServer`) or in process (:class:`BatchEvaluator`).
+Concurrent scalar requests coalesce into single vectorized kernel
+sweeps; responses report which fallback tier (vector / scalar / oracle)
+produced each result; the ``stats`` op exposes counters and batch-size /
+latency histograms.
 
-See the README's "Serving" section for the wire protocol.
+Connections speak newline-delimited JSON and may negotiate up to the
+zero-copy ``binary.v1`` frame protocol (:mod:`repro.serve.frames`) for
+bulk data.  ``serve_fleet`` / :class:`FleetRouter` scale one family
+horizontally: a router consistent-hash-shards ``(fn, level)`` keys
+(:class:`ShardMap`) across shared-nothing evaluator worker processes,
+each loading only its artifact shard, with a per-worker circuit breaker
+and in-flight cap.
+
+See the README's "Serving" section for the wire protocol and topology.
 """
 
+from .base import tune_gc_for_serving
+from .client import AsyncServeClient, ServeClient
 from .evaluator import (
     BatchEvaluator,
     BatchResult,
@@ -19,23 +29,27 @@ from .evaluator import (
     TIER_ORACLE,
     TIER_SCALAR,
     TIER_VECTOR,
+    TIERS,
     resolve_mode,
 )
+from .fleet import FleetRouter, FleetThread, start_fleet_thread
+from .frames import PROTOCOL_NAME, FrameError
+from .hashring import HashRing, ShardMap
 from .metrics import Histogram, ServerMetrics
-from .registry import ServingRegistry, resolve_family
+from .registry import ServingRegistry, resolve_family, resolve_level_for
 from .server import (
     BatchingDispatcher,
     DEFAULT_BATCH_WINDOW,
     DEFAULT_MAX_BATCH,
     DEFAULT_MAX_PENDING,
     DEFAULT_REQUEST_DEADLINE,
-    ServeClient,
     ServeServer,
     ServerThread,
     start_server_thread,
 )
 
 __all__ = [
+    "AsyncServeClient",
     "BatchEvaluator",
     "BatchResult",
     "BatchingDispatcher",
@@ -43,17 +57,27 @@ __all__ = [
     "DEFAULT_MAX_BATCH",
     "DEFAULT_MAX_PENDING",
     "DEFAULT_REQUEST_DEADLINE",
+    "FleetRouter",
+    "FleetThread",
+    "FrameError",
+    "HashRing",
     "Histogram",
     "OracleUnavailable",
+    "PROTOCOL_NAME",
     "ServeClient",
     "ServeServer",
     "ServerMetrics",
     "ServerThread",
     "ServingRegistry",
+    "ShardMap",
     "TIER_ORACLE",
     "TIER_SCALAR",
     "TIER_VECTOR",
+    "TIERS",
     "resolve_family",
+    "resolve_level_for",
     "resolve_mode",
+    "start_fleet_thread",
     "start_server_thread",
+    "tune_gc_for_serving",
 ]

@@ -43,7 +43,6 @@ correctness proof and their latency is bounded.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import List, Optional, Sequence, Union
 
@@ -68,6 +67,10 @@ from .registry import ServingRegistry
 TIER_VECTOR = "vector"
 TIER_SCALAR = "scalar"
 TIER_ORACLE = "oracle"
+#: Tier names in wire order; ``uint8`` tier codes index this tuple
+#: (shared with the binary frame protocol, :mod:`repro.serve.frames`).
+TIERS = (TIER_VECTOR, TIER_SCALAR, TIER_ORACLE)
+_CODE_VECTOR, _CODE_SCALAR, _CODE_ORACLE = range(3)
 
 
 class OracleUnavailable(RuntimeError):
@@ -89,32 +92,182 @@ def resolve_mode(mode: Union[str, RoundingMode]) -> RoundingMode:
         ) from None
 
 
-@dataclass
-class BatchResult:
-    """Correctly rounded results for one batch."""
+class _LazyArray:
+    """One result column held as a numpy array, a list, or both.
 
-    fn: str
-    family: str
-    fmt: FPFormat
-    level: int
-    mode: RoundingMode
-    #: Result bit patterns in ``fmt``, one per input.
-    bits: List[int] = field(default_factory=list)
-    #: The rounded results decoded back to doubles (NaN for NaN patterns).
-    values: List[float] = field(default_factory=list)
-    #: Raw double outputs of the progressive runtime (pre-rounding); for
-    #: the oracle tier this is the decoded rounded value itself.
-    raw: List[float] = field(default_factory=list)
-    #: Which tier produced each element: vector / scalar / oracle.
-    tiers: List[str] = field(default_factory=list)
-    wall_seconds: float = 0.0
+    The evaluator produces numpy arrays (the hot path never builds a
+    Python list); JSON serialization and the historical list-typed
+    accessors convert on first use and cache.  Either representation can
+    seed the other, so a :class:`BatchResult` built from lists (tests,
+    small call sites) still exposes arrays for the binary protocol.
+    """
+
+    __slots__ = ("_array", "_list", "dtype")
+
+    def __init__(self, value, dtype):
+        self.dtype = dtype
+        self._array = self._list = None
+        self.assign(value)
+
+    def assign(self, value) -> None:
+        self._array = self._list = None
+        if value is None:
+            self._list = []
+        elif isinstance(value, np.ndarray):
+            self._array = value
+        else:
+            self._list = list(value)
+
+    def as_array(self) -> np.ndarray:
+        if self._array is None:
+            self._array = np.asarray(self._list, dtype=self.dtype)
+        return self._array
+
+    def as_list(self) -> list:
+        if self._list is None:
+            self._list = self._array.tolist()
+        return self._list
 
     def __len__(self) -> int:
-        return len(self.bits)
+        return len(self._list if self._array is None else self._array)
+
+
+class BatchResult:
+    """Correctly rounded results for one batch.
+
+    The per-element columns (``bits``, ``values``, ``raw``, ``tiers``)
+    read as plain Python lists, exactly as they always have; the
+    ``*_array`` / ``tier_codes`` accessors expose the same data as numpy
+    arrays without a conversion, which is what the binary frame protocol
+    and the coalescing dispatcher's zero-copy slicing use.
+    """
+
+    def __init__(
+        self,
+        fn: str,
+        family: str,
+        fmt: FPFormat,
+        level: int,
+        mode: RoundingMode,
+        bits=None,
+        values=None,
+        raw=None,
+        tiers=None,
+        wall_seconds: float = 0.0,
+    ):
+        self.fn = fn
+        self.family = family
+        self.fmt = fmt
+        self.level = level
+        self.mode = mode
+        self._bits = _LazyArray(bits, np.int64)
+        self._values = _LazyArray(values, np.float64)
+        self._raw = _LazyArray(raw, np.float64)
+        self._tiers = _TierColumn(tiers)
+        self.wall_seconds = wall_seconds
+
+    # -- list views (the historical field types) -----------------------
+    @property
+    def bits(self) -> List[int]:
+        """Result bit patterns in ``fmt``, one per input."""
+        return self._bits.as_list()
+
+    @bits.setter
+    def bits(self, value) -> None:
+        self._bits.assign(value)
+
+    @property
+    def values(self) -> List[float]:
+        """The rounded results decoded back to doubles (NaN patterns → NaN)."""
+        return self._values.as_list()
+
+    @values.setter
+    def values(self, value) -> None:
+        self._values.assign(value)
+
+    @property
+    def raw(self) -> List[float]:
+        """Raw double outputs of the progressive runtime (pre-rounding);
+        for the oracle tier this is the decoded rounded value itself."""
+        return self._raw.as_list()
+
+    @raw.setter
+    def raw(self, value) -> None:
+        self._raw.assign(value)
+
+    @property
+    def tiers(self) -> List[str]:
+        """Which tier produced each element: vector / scalar / oracle."""
+        return self._tiers.as_names()
+
+    @tiers.setter
+    def tiers(self, value) -> None:
+        self._tiers.assign(value)
+
+    # -- array views (zero-copy hot path) ------------------------------
+    @property
+    def bits_array(self) -> np.ndarray:
+        """``bits`` as an int64 array (no conversion on the hot path)."""
+        return self._bits.as_array()
+
+    @property
+    def values_array(self) -> np.ndarray:
+        """``values`` as a float64 array."""
+        return self._values.as_array()
+
+    @property
+    def raw_array(self) -> np.ndarray:
+        """``raw`` as a float64 array."""
+        return self._raw.as_array()
+
+    @property
+    def tier_codes(self) -> np.ndarray:
+        """``tiers`` as uint8 codes indexing :data:`TIERS`."""
+        return self._tiers.as_codes()
+
+    def __len__(self) -> int:
+        return len(self._bits)
 
     def fpvalues(self) -> List[FPValue]:
         """The results as decoded :class:`FPValue` objects."""
         return [FPValue(self.fmt, b) for b in self.bits]
+
+
+class _TierColumn:
+    """The tier column: uint8 codes and/or the historical string list."""
+
+    __slots__ = ("_codes", "_names")
+
+    def __init__(self, value):
+        self.assign(value)
+
+    def assign(self, value) -> None:
+        self._codes = self._names = None
+        if value is None:
+            self._names = []
+        elif isinstance(value, np.ndarray):
+            self._codes = value
+        else:
+            value = list(value)
+            if value and not isinstance(value[0], str):
+                self._codes = np.asarray(value, dtype=np.uint8)
+            else:
+                self._names = value
+
+    def as_codes(self) -> np.ndarray:
+        if self._codes is None:
+            self._codes = np.asarray(
+                [TIERS.index(t) for t in self._names], dtype=np.uint8
+            )
+        return self._codes
+
+    def as_names(self) -> List[str]:
+        if self._names is None:
+            self._names = [TIERS[c] for c in self._codes.tolist()]
+        return self._names
+
+    def __len__(self) -> int:
+        return len(self._names if self._codes is None else self._codes)
 
 
 class BatchEvaluator:
@@ -156,32 +309,42 @@ class BatchEvaluator:
         mode = resolve_mode(mode)
         if fn not in reg.pipelines:
             raise KeyError(f"unknown function {fn!r}")
-        xs = np.asarray(list(inputs), dtype=np.float64)
+        xs = np.ascontiguousarray(np.asarray(inputs, dtype=np.float64))
         n = xs.size
         result = BatchResult(fn, reg.family.name, fmt, level, mode)
-        bits = np.zeros(n, dtype=np.int64)
-        raw = np.zeros(n, dtype=np.float64)
-        tiers = [TIER_ORACLE] * n
+        codes = np.full(n, _CODE_ORACLE, dtype=np.uint8)
 
         if reg.has_artifact(fn):
             if reg.vector_capable(fn, fmt):
                 member = doubles_in_format(xs, fmt)
             else:
                 member = np.zeros(n, dtype=bool)
-            if member.any():
-                kernel = reg.kernels[fn]
-                ys = kernel(xs[member], level)
-                bits[member] = round_doubles_to_bits(ys, fmt, mode)
-                raw[member] = ys
-                for i in np.nonzero(member)[0]:
-                    tiers[i] = TIER_VECTOR
-            scalar = reg.scalars[fn]
-            for i in np.nonzero(~member)[0]:
-                y = scalar(float(xs[i]), level)
-                bits[i] = round_double_to(y, fmt, mode).bits
-                raw[i] = y
-                tiers[i] = TIER_SCALAR
+            if member.all():
+                # The hot path: every input is a member value, so the
+                # whole batch is one kernel sweep + one vectorized
+                # rounding — no per-element Python at all.
+                raw = reg.kernels[fn](xs, level)
+                bits = round_doubles_to_bits(raw, fmt, mode)
+                codes[:] = _CODE_VECTOR
+            else:
+                bits = np.zeros(n, dtype=np.int64)
+                raw = np.zeros(n, dtype=np.float64)
+                if member.any():
+                    kernel = reg.kernels[fn]
+                    ys = kernel(xs[member], level)
+                    bits[member] = round_doubles_to_bits(ys, fmt, mode)
+                    raw[member] = ys
+                    codes[member] = _CODE_VECTOR
+                scalar = reg.scalars[fn]
+                nonmember = np.nonzero(~member)[0]
+                for i in nonmember:
+                    y = scalar(float(xs[i]), level)
+                    bits[i] = round_double_to(y, fmt, mode).bits
+                    raw[i] = y
+                codes[nonmember] = _CODE_SCALAR
         else:
+            bits = np.zeros(n, dtype=np.int64)
+            raw = np.zeros(n, dtype=np.float64)
             if self.breaker is not None and not self.breaker.allow():
                 raise OracleUnavailable(
                     f"no artifact for {fn!r} and the oracle-tier circuit "
@@ -214,16 +377,21 @@ class BatchEvaluator:
             if self.breaker is not None:
                 self.breaker.record_success(time.perf_counter() - t_oracle)
 
-        result.bits = [int(b) for b in bits]
-        result.raw = [float(r) for r in raw]
-        result.tiers = tiers
+        result.bits = bits
+        result.raw = raw
+        result.tiers = codes
         if supports_vector_rounding(fmt):
-            result.values = [float(v) for v in decode_bits_to_doubles(bits, fmt)]
+            result.values = decode_bits_to_doubles(bits, fmt)
         else:
             result.values = [FPValue(fmt, int(b)).to_float() for b in bits]
         result.wall_seconds = time.perf_counter() - t0
+        tier_counts = {
+            TIERS[c]: int(k)
+            for c, k in enumerate(np.bincount(codes, minlength=len(TIERS)))
+            if k
+        }
         self.metrics.record_batch(
-            fn, n, tiers, result.wall_seconds, n_requests=n_requests
+            fn, n, tier_counts, result.wall_seconds, n_requests=n_requests
         )
         return result
 

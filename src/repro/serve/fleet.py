@@ -1,0 +1,575 @@
+"""Horizontally scaled serving: a shared-nothing multi-process fleet.
+
+Topology: one :class:`FleetRouter` (the acceptor clients connect to)
+and ``n_workers`` evaluator worker *processes*.  The router builds a
+:class:`~repro.serve.hashring.ShardMap` over the family's ``(fn,
+level)`` keys; each worker process runs a plain
+:class:`~repro.serve.server.ServeServer` whose registry loads **only**
+the artifact shard the map assigns it — shared-nothing, so worker
+memory scales with its shard and a worker crash loses exactly one
+shard.  The router speaks the same negotiated JSON/``binary.v1``
+protocol to its clients as every other server, and uses the binary
+protocol on its worker links, so a bulk eval crosses the extra hop as
+raw buffers end to end: client frame → ``np.frombuffer`` view → worker
+frame → result arrays → client frame, with no float ever parsed.
+
+Resilience is **per worker**, not global (contrast the single-server
+oracle breaker):
+
+* each worker link has its own
+  :class:`~repro.resilience.CircuitBreaker`: connection failures trip
+  *that shard only*, and shed requests answer ``worker_unavailable``
+  while every other shard keeps serving;
+* each worker has its own in-flight cap: one hot shard saturating does
+  not shed traffic aimed at cold shards (those requests answer
+  ``overloaded`` scoped to the shard);
+* the ``health`` op reports per-worker status (``ok`` / ``degraded`` /
+  ``down``) so probes see a degraded shard, not a binary fleet.
+
+Workers are started with the repo-standard multiprocessing start method
+(``REPRO_MP_START``), report their ephemeral port back through a pipe,
+and drain gracefully on SIGTERM.  ``REPRO_TRACE`` span context
+propagates router → worker both at spawn (environment) and per request
+(frame metadata), so one eval reads as one span tree across processes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import time
+from multiprocessing import get_context
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from ..obs import get_registry, get_tracer, merge_metrics_json, prometheus_from_json
+from ..parallel.pool import start_method
+from ..resilience.breaker import CircuitBreaker
+from .base import (
+    DEFAULT_MAX_PENDING,
+    DEFAULT_REQUEST_DEADLINE,
+    BaseProtocolServer,
+    RequestError,
+    tune_gc_for_serving,
+)
+from .client import AsyncServeClient
+from .evaluator import BatchResult, resolve_mode
+from .hashring import ShardMap
+from .metrics import ServerMetrics
+from .protocol import ProtocolError, parse_eval_request
+from .registry import FamilyLike, resolve_family, resolve_level_for
+from .server import (
+    DEFAULT_BATCH_WINDOW,
+    DEFAULT_MAX_BATCH,
+    ServerThread,
+    ServeServer,
+)
+
+__all__ = [
+    "FleetRouter",
+    "FleetThread",
+    "start_fleet_thread",
+]
+
+#: How long the router waits for a worker to report its port.
+WORKER_START_TIMEOUT = 60.0
+#: Per-worker link circuit breaker: trip fast, probe again quickly.
+WORKER_FAILURE_THRESHOLD = 3
+WORKER_RECOVERY_TIME = 1.0
+
+
+def _fleet_worker_main(
+    conn,
+    family,
+    directory: Optional[Path],
+    names: Sequence[str],
+    server_kwargs: dict,
+) -> None:
+    """Worker process entry: serve one artifact shard until SIGTERM.
+
+    Module-level and spawn-safe.  Reports ``{"ok": True, "port": p}``
+    (or the startup failure) through ``conn``, then serves until
+    SIGTERM/SIGINT, at which point it drains gracefully — stops
+    accepting, flushes coalescing buckets, answers in-flight requests —
+    and exits.
+    """
+    from ..obs.trace import reset_tracing
+    from .registry import ServingRegistry
+
+    reset_tracing()  # bind to the trace context the router exported
+
+    async def main() -> None:
+        try:
+            registry = ServingRegistry(family, directory, names=names)
+            server = await ServeServer(registry, **server_kwargs).start()
+        except BaseException as e:
+            conn.send({"ok": False, "error": f"{type(e).__name__}: {e}"})
+            conn.close()
+            raise
+        conn.send({"ok": True, "port": server.port})
+        conn.close()
+        # The shard is loaded and will live for the process: freeze it
+        # out of the collector before taking traffic.
+        tune_gc_for_serving()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, stop.set)
+        await stop.wait()
+        await server.aclose()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+
+
+class _WorkerHandle:
+    """Router-side state for one worker: process, link, breaker, cap."""
+
+    def __init__(
+        self,
+        index: int,
+        names: Tuple[str, ...],
+        keys: Tuple[Tuple[str, int], ...],
+        max_inflight: int,
+    ):
+        self.index = index
+        self.names = names
+        self.keys = keys
+        self.max_inflight = max_inflight
+        self.inflight = 0
+        self.process = None
+        self.port: Optional[int] = None
+        self.client: Optional[AsyncServeClient] = None
+        self.breaker = CircuitBreaker(
+            failure_threshold=WORKER_FAILURE_THRESHOLD,
+            recovery_time=WORKER_RECOVERY_TIME,
+            latency_budget=None,
+        )
+        self.lock = asyncio.Lock()
+
+    @property
+    def alive(self) -> bool:
+        """True while the worker process is running."""
+        return self.process is not None and self.process.is_alive()
+
+    def status(self, draining: bool) -> str:
+        """``ok`` / ``degraded`` / ``down`` / ``draining`` for health."""
+        if draining:
+            return "draining"
+        if not self.alive:
+            return "down"
+        if self.breaker.snapshot()["state"] != "closed":
+            return "degraded"
+        return "ok"
+
+
+class FleetRouter(BaseProtocolServer):
+    """The fleet's acceptor: shard-routes evals to worker processes."""
+
+    def __init__(
+        self,
+        family: FamilyLike,
+        directory: Optional[Path] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        n_workers: int = 2,
+        names: Optional[Sequence[str]] = None,
+        replicas: int = 64,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        batch_window: float = DEFAULT_BATCH_WINDOW,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        worker_max_inflight: int = DEFAULT_MAX_PENDING,
+        request_deadline: float = DEFAULT_REQUEST_DEADLINE,
+        metrics: Optional[ServerMetrics] = None,
+        binary: bool = True,
+    ):
+        super().__init__(
+            host, port,
+            max_pending=max_pending,
+            request_deadline=request_deadline,
+            metrics=metrics,
+            binary=binary,
+        )
+        self.family = resolve_family(family)
+        self.directory = directory
+        if names is None:
+            from ..mp.oracle import FUNCTION_NAMES
+
+            names = FUNCTION_NAMES
+        self.names: Tuple[str, ...] = tuple(names)
+        self._name_set = frozenset(self.names)
+        self.shards = ShardMap(
+            self.names, self.family.levels, n_workers, replicas
+        )
+        self._worker_kwargs = {
+            "host": "127.0.0.1",
+            "port": 0,
+            "max_batch": max_batch,
+            "batch_window": batch_window,
+            "max_pending": max(worker_max_inflight, DEFAULT_MAX_PENDING),
+            "request_deadline": request_deadline,
+        }
+        self.workers: List[_WorkerHandle] = [
+            _WorkerHandle(
+                i,
+                self.shards.names_for(i),
+                self.shards.keys_for(i),
+                worker_max_inflight,
+            )
+            for i in range(n_workers)
+        ]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "FleetRouter":
+        """Spawn + connect every worker, then start accepting."""
+        from ..obs.trace import propagate_to_children
+
+        ctx = get_context(start_method())
+        loop = asyncio.get_running_loop()
+        try:
+            for w in self.workers:
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                with propagate_to_children():
+                    w.process = ctx.Process(
+                        target=_fleet_worker_main,
+                        args=(
+                            child_conn,
+                            self.family,
+                            self.directory,
+                            w.names,
+                            self._worker_kwargs,
+                        ),
+                        daemon=True,
+                        name=f"repro-serve-worker-{w.index}",
+                    )
+                    w.process.start()
+                child_conn.close()
+                report = await loop.run_in_executor(
+                    None, _recv_report, parent_conn, WORKER_START_TIMEOUT
+                )
+                parent_conn.close()
+                if not report.get("ok"):
+                    raise RuntimeError(
+                        f"worker {w.index} failed to start: "
+                        f"{report.get('error', 'no port reported')}"
+                    )
+                w.port = int(report["port"])
+                w.client = await AsyncServeClient(
+                    "127.0.0.1", w.port, protocol="auto"
+                ).connect()
+        except BaseException:
+            await self._shutdown_workers()
+            raise
+        await super().start()
+        return self
+
+    async def _after_drain(self) -> None:
+        await self._shutdown_workers()
+
+    async def _shutdown_workers(self) -> None:
+        for w in self.workers:
+            if w.client is not None:
+                try:
+                    await w.client.aclose()
+                except (OSError, ConnectionError):
+                    pass
+                w.client = None
+        procs = [w.process for w in self.workers if w.process is not None]
+        if not procs:
+            return
+        # SIGTERM → each worker drains gracefully; escalate only if stuck.
+        await asyncio.get_running_loop().run_in_executor(
+            None, _terminate_and_join, procs
+        )
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _ensure_link(self, w: _WorkerHandle) -> AsyncServeClient:
+        """The worker's live client, reconnecting if the link dropped."""
+        client = w.client
+        if client is not None and client.connected:
+            return client
+        async with w.lock:
+            if w.client is not None and w.client.connected:
+                return w.client
+            if w.client is not None:
+                try:
+                    await w.client.aclose()
+                except (OSError, ConnectionError):
+                    pass
+                w.client = None
+            if not w.alive or w.port is None:
+                w.breaker.record_failure(0.0)
+                raise RequestError(
+                    f"worker {w.index} (shard of {len(w.keys)} keys) is not "
+                    f"running",
+                    code="worker_unavailable",
+                )
+            try:
+                w.client = await AsyncServeClient(
+                    "127.0.0.1", w.port, protocol="auto"
+                ).connect()
+            except (OSError, ConnectionError, ProtocolError) as e:
+                w.breaker.record_failure(0.0)
+                raise RequestError(
+                    f"worker {w.index} unreachable: {e}",
+                    code="worker_unavailable",
+                ) from None
+            return w.client
+
+    async def _op_eval(self, obj: dict) -> dict:
+        fields = parse_eval_request(obj)
+        fn = fields["fn"]
+        if fn not in self._name_set:
+            raise KeyError(f"unknown function {fn!r}")
+        level, fmt = resolve_level_for(
+            self.family, fields["fmt"], fields["level"]
+        )
+        mode = resolve_mode(fields["mode"])
+        w = self.workers[self.shards.worker_for(fn, level)]
+        if not w.breaker.allow():
+            raise RequestError(
+                f"worker {w.index} circuit breaker is open (shard for "
+                f"{fn!r} level {level}); retry after its recovery window",
+                code="worker_unavailable",
+            )
+        if w.inflight >= w.max_inflight:
+            raise RequestError(
+                f"worker {w.index} overloaded: {w.inflight} requests in "
+                f"flight (cap {w.max_inflight}); retry later",
+                code="overloaded",
+                overload=True,
+            )
+        trace = obj.get("trace")
+        if trace is None:
+            tracer = get_tracer()
+            if tracer.enabled:
+                trace = {
+                    "id": tracer.trace_id,
+                    "parent": tracer.current_span_id(),
+                }
+        client = await self._ensure_link(w)
+        w.inflight += 1
+        t0 = time.perf_counter()
+        try:
+            resp = await client.eval(
+                fn,
+                fields["inputs"],
+                level=level,
+                mode=mode.value,
+                trace=trace,
+            )
+        except ConnectionError as e:
+            w.breaker.record_failure(time.perf_counter() - t0)
+            raise RequestError(
+                f"worker {w.index} connection lost mid-request: {e}",
+                code="worker_unavailable",
+            ) from None
+        finally:
+            w.inflight -= 1
+        w.breaker.record_success(time.perf_counter() - t0)
+        if not resp.get("ok"):
+            code = resp.get("code")
+            raise RequestError(
+                resp.get("error", f"worker {w.index} error"),
+                code=code,
+                overload=code == "overloaded",
+            )
+        # Re-wrap the worker's arrays as a BatchResult so the client
+        # connection re-frames them zero-copy (or renders JSON lists).
+        result = BatchResult(
+            resp.get("fn", fn),
+            resp.get("family", self.family.name),
+            fmt,
+            level,
+            mode,
+            bits=resp.get("bits"),
+            values=resp.get("values"),
+            tiers=resp.get("tiers"),
+        )
+        return {"id": obj.get("id"), "ok": True, "_result": result}
+
+    # ------------------------------------------------------------------
+    # Control ops (fleet-aggregated)
+    # ------------------------------------------------------------------
+    async def _worker_op(self, w: _WorkerHandle, op: str) -> dict:
+        """One worker's control-op response body, or its failure."""
+        entry = {
+            "worker": w.index,
+            "alive": w.alive,
+            "port": w.port,
+            "functions": list(w.names),
+            "inflight": w.inflight,
+            "breaker": w.breaker.snapshot(),
+        }
+        try:
+            client = await self._ensure_link(w)
+            entry["response"] = await client.request({"op": op})
+        except (RequestError, ConnectionError, OSError) as e:
+            entry["error"] = str(e)
+        return entry
+
+    async def _op_stats(self, obj: dict) -> dict:
+        stats = self.metrics.snapshot()
+        rows = await asyncio.gather(
+            *(self._worker_op(w, "stats") for w in self.workers)
+        )
+        workers = []
+        for row in rows:
+            resp = row.pop("response", None)
+            if resp is not None and resp.get("ok"):
+                row["stats"] = resp.get("stats")
+            elif resp is not None:
+                row["error"] = resp.get("error", "worker stats failed")
+            workers.append(row)
+        stats["workers"] = workers
+        stats["shards"] = self.shards.describe()
+        return {"ok": True, "stats": stats}
+
+    async def _op_metrics(self, obj: dict) -> dict:
+        payload = self.metrics.to_json()
+        payload.update(get_registry().to_json())
+        payloads = [payload]
+        rows = await asyncio.gather(
+            *(self._worker_op(w, "metrics") for w in self.workers)
+        )
+        live = 0
+        for row in rows:
+            resp = row.get("response")
+            if resp is not None and resp.get("ok"):
+                payloads.append(resp.get("metrics") or {})
+                live += 1
+        merged = merge_metrics_json(payloads)
+        return {
+            "ok": True,
+            "metrics": merged,
+            "prometheus": prometheus_from_json(merged),
+            "workers_scraped": live,
+        }
+
+    async def _op_info(self, obj: dict) -> dict:
+        functions: set = set()
+        missing: set = set()
+        rows = await asyncio.gather(
+            *(self._worker_op(w, "info") for w in self.workers)
+        )
+        workers = []
+        for row in rows:
+            resp = row.pop("response", None)
+            row.pop("breaker", None)
+            row.pop("inflight", None)
+            if resp is not None and resp.get("ok"):
+                info = resp.get("info", {})
+                functions.update(info.get("functions", ()))
+                missing.update(info.get("missing", ()))
+            elif resp is not None:
+                row["error"] = resp.get("error", "worker info failed")
+            workers.append(row)
+        return {
+            "ok": True,
+            "info": {
+                "family": self.family.name,
+                "formats": [f.display_name for f in self.family.formats],
+                "levels": self.family.levels,
+                "functions": sorted(functions),
+                "missing": sorted(missing),
+                "fleet": self.shards.describe(),
+                "workers": workers,
+            },
+        }
+
+    def health(self) -> dict:
+        """Per-shard readiness: no worker round trips, probes stay cheap."""
+        workers = []
+        for w in self.workers:
+            workers.append({
+                "worker": w.index,
+                "status": w.status(self._draining),
+                "alive": w.alive,
+                "port": w.port,
+                "inflight": w.inflight,
+                "max_inflight": w.max_inflight,
+                "functions": list(w.names),
+                "breaker": w.breaker.snapshot(),
+            })
+        n_ok = sum(1 for row in workers if row["status"] == "ok")
+        if self._draining:
+            status = "draining"
+        elif n_ok == len(workers):
+            status = "ok"
+        elif n_ok:
+            status = "degraded"
+        else:
+            status = "down"
+        return {
+            "status": status,
+            "inflight": self._inflight,
+            "max_pending": self.max_pending,
+            "request_deadline": self.request_deadline,
+            "draining": self._draining,
+            "workers": workers,
+        }
+
+
+def _recv_report(conn, timeout: float) -> dict:
+    """The worker's startup report off its pipe (bounded wait)."""
+    try:
+        if conn.poll(timeout):
+            report = conn.recv()
+            if isinstance(report, dict):
+                return report
+            return {"ok": False, "error": f"bad startup report {report!r}"}
+    except (EOFError, OSError) as e:
+        return {"ok": False, "error": f"worker died during startup: {e}"}
+    return {"ok": False, "error": f"no port reported within {timeout}s"}
+
+
+def _terminate_and_join(procs) -> None:
+    """SIGTERM every worker, join bounded, SIGKILL stragglers."""
+    for proc in procs:
+        if proc.is_alive():
+            proc.terminate()
+    deadline = time.monotonic() + 5.0
+    for proc in procs:
+        proc.join(max(0.1, deadline - time.monotonic()))
+    for proc in procs:
+        if proc.is_alive():
+            proc.kill()
+            proc.join(1.0)
+
+
+class FleetThread(ServerThread):
+    """A :class:`FleetRouter` (plus its workers) on a daemon thread."""
+
+    def __init__(
+        self,
+        family: FamilyLike,
+        directory: Optional[Path] = None,
+        **router_kwargs,
+    ):
+        super().__init__(None)
+        self.family = family
+        self.directory = directory
+        self.router_kwargs = router_kwargs
+
+    def _make_server(self) -> FleetRouter:
+        return FleetRouter(self.family, self.directory, **self.router_kwargs)
+
+
+def start_fleet_thread(
+    family: FamilyLike,
+    directory: Optional[Path] = None,
+    *,
+    n_workers: int = 2,
+    **router_kwargs,
+) -> FleetThread:
+    """Start a router + ``n_workers`` fleet on a daemon thread."""
+    return FleetThread(
+        family, directory, n_workers=n_workers, **router_kwargs
+    ).start()

@@ -1,0 +1,133 @@
+"""Consistent hashing for the serve fleet's shard map.
+
+The router shards ``(fn, level)`` keys across evaluator workers with a
+classic consistent-hash ring: every worker owns ``replicas`` virtual
+nodes placed by a keyed hash, and a key belongs to the first virtual
+node clockwise from the key's own hash.  Properties the fleet relies on:
+
+* **Determinism** — placement uses BLAKE2b, not Python's seeded
+  ``hash()``, so the router, its workers, benchmarks and tests all
+  compute the same map in different processes.
+* **Stability** — adding or removing one worker only remaps the keys
+  that worker owned/owns (≈ ``1/n`` of the space), so a resize does not
+  reshuffle every artifact shard.
+* **Spread** — virtual nodes break up the ring so small fleets still
+  get roughly even key counts.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = ["HashRing", "ShardMap"]
+
+
+def _hash64(key: str) -> int:
+    """A stable 64-bit position on the ring."""
+    return int.from_bytes(
+        hashlib.blake2b(key.encode(), digest_size=8).digest(), "big"
+    )
+
+
+class HashRing:
+    """A consistent-hash ring over opaque node names."""
+
+    def __init__(self, nodes: Iterable[str], replicas: int = 64):
+        self.replicas = max(1, int(replicas))
+        self._points: List[Tuple[int, str]] = []
+        self._nodes: List[str] = []
+        for node in nodes:
+            self.add(node)
+
+    def add(self, node: str) -> None:
+        """Place one node's virtual nodes on the ring."""
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} already on the ring")
+        self._nodes.append(node)
+        for i in range(self.replicas):
+            bisect.insort(self._points, (_hash64(f"{node}#{i}"), node))
+
+    def remove(self, node: str) -> None:
+        """Remove one node (its keys move to their ring successors)."""
+        self._nodes.remove(node)
+        self._points = [(h, n) for h, n in self._points if n != node]
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        """The nodes currently on the ring, in insertion order."""
+        return tuple(self._nodes)
+
+    def node_for(self, key: str) -> str:
+        """The node owning ``key``."""
+        if not self._points:
+            raise ValueError("hash ring is empty")
+        h = _hash64(key)
+        idx = bisect.bisect_right(self._points, (h, "￿"))
+        if idx == len(self._points):
+            idx = 0
+        return self._points[idx][1]
+
+
+class ShardMap:
+    """The fleet's ``(fn, level) -> worker index`` assignment.
+
+    Built once at fleet start from the family's function names and level
+    count; the router routes with :meth:`worker_for` and each worker
+    loads only the artifacts :meth:`names_for` assigns it.
+    """
+
+    def __init__(
+        self,
+        names: Sequence[str],
+        levels: int,
+        n_workers: int,
+        replicas: int = 64,
+    ):
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        self.n_workers = int(n_workers)
+        self.levels = int(levels)
+        self.ring = HashRing(
+            (f"worker-{i}" for i in range(self.n_workers)), replicas
+        )
+        self._owner: Dict[Tuple[str, int], int] = {}
+        for fn in names:
+            for level in range(levels):
+                node = self.ring.node_for(f"{fn}|{level}")
+                self._owner[(fn, level)] = int(node.rsplit("-", 1)[1])
+
+    def worker_for(self, fn: str, level: int) -> int:
+        """The worker index owning ``(fn, level)``."""
+        try:
+            return self._owner[(fn, level)]
+        except KeyError:
+            raise KeyError(f"no shard for ({fn!r}, level {level})") from None
+
+    def names_for(self, worker: int) -> Tuple[str, ...]:
+        """The function names worker ``worker`` must load (sorted).
+
+        A function appears on every worker that owns at least one of its
+        levels; the artifact is per-function, so that is the load unit.
+        """
+        return tuple(sorted({
+            fn for (fn, _level), w in self._owner.items() if w == worker
+        }))
+
+    def keys_for(self, worker: int) -> Tuple[Tuple[str, int], ...]:
+        """The exact ``(fn, level)`` keys owned by ``worker`` (sorted)."""
+        return tuple(sorted(
+            key for key, w in self._owner.items() if w == worker
+        ))
+
+    def describe(self) -> dict:
+        """JSON-friendly shard map (the fleet ``info`` op body)."""
+        return {
+            "workers": self.n_workers,
+            "levels": self.levels,
+            "assignment": {
+                f"{fn}|{level}": w
+                for (fn, level), w in sorted(self._owner.items())
+            },
+        }

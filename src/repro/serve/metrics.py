@@ -23,7 +23,7 @@ requests it carried, so coalesced members were visible only through
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Union
 
 from repro.obs.metrics import Counter, Histogram, MetricsRegistry
 
@@ -100,17 +100,26 @@ class ServerMetrics:
         self,
         fn: str,
         n_inputs: int,
-        tiers: Sequence[str],
+        tiers: Union[Dict[str, int], Sequence[str]],
         seconds: float,
         n_requests: int = 1,
     ) -> None:
         """One evaluator batch: inputs swept, per-result tiers, eval wall.
+
+        ``tiers`` is either a ``{tier_name: count}`` dict (what the
+        evaluator passes — one counter bump per tier instead of one per
+        element) or the legacy per-element name sequence.
 
         ``n_requests`` is how many client requests the batch answers
         (> 1 when the dispatcher coalesced); each is counted once in
         ``requests_by_fn`` while the batch itself lands in
         ``batches_by_fn``.
         """
+        if not isinstance(tiers, dict):
+            counts: Dict[str, int] = {}
+            for tier in tiers:
+                counts[tier] = counts.get(tier, 0) + 1
+            tiers = counts
         self._labelled(
             self._requests_by_fn, "repro_serve_requests_total",
             "Client requests per function.", fn=fn,
@@ -123,11 +132,11 @@ class ServerMetrics:
             self._inputs_by_fn, "repro_serve_inputs_total",
             "Inputs evaluated per function.", fn=fn,
         ).inc(n_inputs)
-        for tier in tiers:
+        for tier, count in tiers.items():
             self._labelled(
                 self._results_by_tier, "repro_serve_results_total",
                 "Results per evaluation tier.", tier=tier,
-            ).inc()
+            ).inc(count)
         self.batch_sizes.observe(n_inputs)
         self.eval_latency.observe(seconds)
 

@@ -45,7 +45,9 @@ authoritative payload regardless.
 from __future__ import annotations
 
 import json
-from typing import Any, List, Optional
+from typing import Any, Optional
+
+import numpy as np
 
 from .evaluator import BatchResult
 
@@ -95,9 +97,15 @@ def parse_eval_request(obj: dict) -> dict:
     raw_inputs = obj.get("inputs")
     if raw_inputs is None and "input" in obj:
         raw_inputs = [obj["input"]]
-    if not isinstance(raw_inputs, list) or not raw_inputs:
+    if isinstance(raw_inputs, np.ndarray):
+        # The binary frame path: already a float64 view, no token parsing.
+        if raw_inputs.size == 0:
+            raise ProtocolError("eval needs a non-empty 'inputs' list")
+        inputs = raw_inputs
+    elif not isinstance(raw_inputs, list) or not raw_inputs:
         raise ProtocolError("eval needs a non-empty 'inputs' list")
-    inputs: List[float] = [parse_float_token(v) for v in raw_inputs]
+    else:
+        inputs = [parse_float_token(v) for v in raw_inputs]
     level = obj.get("level")
     if level is not None and not isinstance(level, int):
         raise ProtocolError("'level' must be an integer")

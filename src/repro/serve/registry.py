@@ -44,6 +44,48 @@ def resolve_family(family: FamilyLike) -> FamilyConfig:
         ) from None
 
 
+def resolve_level_for(
+    family: FamilyConfig,
+    fmt: Optional[Union[str, int, FPFormat]] = None,
+    level: Optional[int] = None,
+) -> Tuple[int, FPFormat]:
+    """``(level, format)`` from any request spelling, for one family.
+
+    Accepts a format name (``"p16"``/``"bfloat16"``), a level index, an
+    :class:`FPFormat`, or nothing (defaults to the widest format).
+    ``fmt`` given as an int is treated as a level.  Standalone so the
+    fleet router can resolve shard keys without loading any artifacts.
+    """
+    if fmt is not None and level is not None:
+        raise ValueError("pass either fmt or level, not both")
+    if fmt is None and level is None:
+        level = family.levels - 1
+    if isinstance(fmt, int):
+        level, fmt = fmt, None
+    if level is not None:
+        if not 0 <= level < family.levels:
+            raise ValueError(
+                f"level {level} out of range for {family.levels}-level"
+                f" family {family.name!r}"
+            )
+        return level, family.formats[level]
+    if isinstance(fmt, str):
+        want = fmt.lower()
+        for lvl, f in enumerate(family.formats):
+            if f.display_name.lower() == want:
+                return lvl, f
+        raise ValueError(
+            f"unknown format {fmt!r}; family {family.name!r} has"
+            f" {sorted(f.display_name.lower() for f in family.formats)}"
+        )
+    for lvl, f in enumerate(family.formats):
+        if f == fmt:
+            return lvl, f
+    raise ValueError(
+        f"{fmt} is not a member of the {family.name!r} family"
+    )
+
+
 class ServingRegistry:
     """One family's functions, loaded once and shared by all requests."""
 
@@ -61,10 +103,6 @@ class ServingRegistry:
         self.kernels: Dict[str, VectorizedFunction] = {}
         self.scalars: Dict[str, RlibmProgFunction] = {}
         self.missing: Set[str] = set()
-        self._formats_by_name = {
-            fmt.display_name.lower(): (level, fmt)
-            for level, fmt in enumerate(self.family.formats)
-        }
         for name in names:
             pipe = make_pipeline(name, self.family, self.oracle)
             self.pipelines[name] = pipe
@@ -100,37 +138,9 @@ class ServingRegistry:
     ) -> Tuple[int, FPFormat]:
         """``(level, format)`` from any request spelling.
 
-        Accepts a format name (``"p16"``/``"bfloat16"``), a level index,
-        an :class:`FPFormat`, or nothing (defaults to the widest format).
-        ``fmt`` given as an int is treated as a level.
+        Delegates to :func:`resolve_level_for` on this registry's family.
         """
-        if fmt is not None and level is not None:
-            raise ValueError("pass either fmt or level, not both")
-        if fmt is None and level is None:
-            level = self.family.levels - 1
-        if isinstance(fmt, int):
-            level, fmt = fmt, None
-        if level is not None:
-            if not 0 <= level < self.family.levels:
-                raise ValueError(
-                    f"level {level} out of range for {self.family.levels}-level"
-                    f" family {self.family.name!r}"
-                )
-            return level, self.family.formats[level]
-        if isinstance(fmt, str):
-            try:
-                return self._formats_by_name[fmt.lower()]
-            except KeyError:
-                raise ValueError(
-                    f"unknown format {fmt!r}; family {self.family.name!r} has"
-                    f" {sorted(self._formats_by_name)}"
-                ) from None
-        for lvl, f in enumerate(self.family.formats):
-            if f == fmt:
-                return lvl, f
-        raise ValueError(
-            f"{fmt} is not a member of the {self.family.name!r} family"
-        )
+        return resolve_level_for(self.family, fmt, level)
 
     def vector_capable(self, fn: str, fmt: FPFormat) -> bool:
         """Can (fn, fmt) run the batched kernel + vector rounding tier?"""

@@ -1,5 +1,4 @@
-"""The asyncio batch-evaluation server, its coalescing dispatcher, and a
-small synchronous client.
+"""The asyncio batch-evaluation server and its coalescing dispatcher.
 
 Serving model: many clients fire scalar or small-batch ``eval`` requests
 concurrently; the :class:`BatchingDispatcher` holds each request for at
@@ -7,12 +6,20 @@ most ``batch_window`` seconds (or until ``max_batch`` inputs are
 pending) and fuses everything aimed at the same ``(fn, level, mode)``
 into one :class:`~repro.serve.evaluator.BatchEvaluator` call — one numpy
 kernel sweep instead of N scalar evaluations.  Each caller gets back
-exactly its slice of the fused result, so fusion is invisible except in
-the ``stats`` histograms (and in the latency, which is the point).
+exactly its slice of the fused result — a zero-copy numpy view, so
+fusion costs nothing beyond the bookkeeping — and fusion is invisible
+except in the ``stats`` histograms (and in the latency, which is the
+point).
 
 Requests within one connection are answered out of order (responses
 carry the request ``id``), so a single pipelining client coalesces with
 itself as well as with other connections.
+
+The transport, admission control, deadlines, drain and the
+JSON/``binary.v1`` protocol negotiation all live in
+:class:`~repro.serve.base.BaseProtocolServer`; :class:`ServeServer` adds
+the evaluation ops.  The synchronous :class:`~repro.serve.client.ServeClient`
+lives in :mod:`repro.serve.client` (re-exported here for compatibility).
 
 :class:`ServerThread` runs the whole loop on a daemon thread for tests,
 CI smoke checks and notebook use; ``python -m repro serve`` runs it in
@@ -39,47 +46,58 @@ Resilience semantics (see DESIGN.md):
 from __future__ import annotations
 
 import asyncio
-import json
-import socket
 import threading
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from ..fp.rounding import RoundingMode
-from ..obs import get_registry, get_tracer
+from ..obs import get_registry
 from ..obs import span as obs_span
-from ..resilience.faults import maybe_fire
-from .evaluator import BatchEvaluator, BatchResult, OracleUnavailable, resolve_mode
-from .metrics import ServerMetrics
-from .protocol import (
-    ProtocolError,
-    encode_response,
-    error_response,
-    eval_response,
-    parse_eval_request,
-    parse_request,
+from .base import (
+    DEFAULT_MAX_PENDING,
+    DEFAULT_REQUEST_DEADLINE,
+    DRAIN_TIMEOUT,
+    BaseProtocolServer,
 )
+from .evaluator import BatchEvaluator, BatchResult, resolve_mode
+from .metrics import ServerMetrics
+from .protocol import parse_eval_request
 from .registry import ServingRegistry
 
 #: Default coalescing window: long enough to fuse a burst of concurrent
 #: scalar requests, short enough to be invisible next to network latency.
 DEFAULT_BATCH_WINDOW = 0.002
 DEFAULT_MAX_BATCH = 4096
-#: Default bound on concurrently admitted requests (backpressure).
-DEFAULT_MAX_PENDING = 256
-#: Default per-request deadline in seconds.
-DEFAULT_REQUEST_DEADLINE = 30.0
-#: How long :meth:`ServeServer.aclose` waits for in-flight requests.
-DRAIN_TIMEOUT = 5.0
+
+__all__ = [
+    "DEFAULT_BATCH_WINDOW",
+    "DEFAULT_MAX_BATCH",
+    "DEFAULT_MAX_PENDING",
+    "DEFAULT_REQUEST_DEADLINE",
+    "DRAIN_TIMEOUT",
+    "BatchingDispatcher",
+    "ServeClient",
+    "ServeServer",
+    "ServerThread",
+    "start_server_thread",
+]
 
 
 @dataclass
 class _Bucket:
-    """Pending requests for one (fn, level, mode) coalescing key."""
+    """Pending requests for one (fn, level, mode) coalescing key.
 
-    inputs: List[float] = field(default_factory=list)
+    Inputs accumulate as a list of *chunks* — each caller's list or
+    ndarray, appended as-is — rather than one growing flat list: the
+    binary protocol delivers ndarrays and copying them element-wise into
+    a Python list would throw away the zero-copy decode.
+    """
+
+    chunks: List = field(default_factory=list)
+    count: int = 0
     futures: List[Tuple[int, int, "asyncio.Future[BatchResult]"]] = field(
         default_factory=list
     )
@@ -103,19 +121,25 @@ class BatchingDispatcher:
         self._buckets: Dict[Tuple[str, int, str], _Bucket] = {}
 
     async def submit(
-        self, fn: str, inputs: List[float], level: int, mode: RoundingMode
+        self, fn: str, inputs, level: int, mode: RoundingMode
     ) -> BatchResult:
-        """Enqueue one request; resolves with just this request's slice."""
+        """Enqueue one request; resolves with just this request's slice.
+
+        ``inputs`` is a list of floats or a float64 ndarray (the binary
+        path); either is held by reference until the flush.
+        """
         key = (fn, level, mode.value)
         bucket = self._buckets.get(key)
         if bucket is None:
             bucket = self._buckets[key] = _Bucket()
         loop = asyncio.get_running_loop()
         fut: "asyncio.Future[BatchResult]" = loop.create_future()
-        start = len(bucket.inputs)
-        bucket.inputs.extend(inputs)
-        bucket.futures.append((start, len(inputs), fut))
-        if len(bucket.inputs) >= self.max_batch:
+        start = bucket.count
+        n = len(inputs)
+        bucket.chunks.append(inputs)
+        bucket.count += n
+        bucket.futures.append((start, n, fut))
+        if bucket.count >= self.max_batch:
             self._flush(key)
         elif bucket.timer is None:
             bucket.timer = loop.call_later(
@@ -132,13 +156,19 @@ class BatchingDispatcher:
         fn, level, mode = key
         n_requests = len(bucket.futures)
         self.metrics.record_coalesce(n_requests)
+        if len(bucket.chunks) == 1:
+            inputs = bucket.chunks[0]
+        else:
+            inputs = np.concatenate(
+                [np.asarray(c, dtype=np.float64) for c in bucket.chunks]
+            )
         try:
             with obs_span(
                 "serve.flush", fn=fn, level=level, mode=mode,
-                n_inputs=len(bucket.inputs), n_requests=n_requests,
+                n_inputs=bucket.count, n_requests=n_requests,
             ):
                 result = self.evaluator.evaluate(
-                    fn, bucket.inputs, level=level, mode=mode,
+                    fn, inputs, level=level, mode=mode,
                     n_requests=n_requests,
                 )
         except Exception as e:  # propagate to every fused caller
@@ -146,10 +176,17 @@ class BatchingDispatcher:
                 if not fut.done():
                     fut.set_exception(e)
             return
+        if n_requests == 1:
+            _, _, fut = bucket.futures[0]
+            if not fut.done():
+                fut.set_result(result)
+            return
         for start, count, fut in bucket.futures:
             if fut.done():
                 continue
             sl = slice(start, start + count)
+            # Numpy views, not list slices: each caller's BatchResult
+            # shares the fused batch's buffers.
             fut.set_result(
                 BatchResult(
                     result.fn,
@@ -157,10 +194,10 @@ class BatchingDispatcher:
                     result.fmt,
                     result.level,
                     result.mode,
-                    bits=result.bits[sl],
-                    values=result.values[sl],
-                    raw=result.raw[sl],
-                    tiers=result.tiers[sl],
+                    bits=result.bits_array[sl],
+                    values=result.values_array[sl],
+                    raw=result.raw_array[sl],
+                    tiers=result.tier_codes[sl],
                     wall_seconds=result.wall_seconds,
                 )
             )
@@ -171,8 +208,12 @@ class BatchingDispatcher:
             self._flush(key)
 
 
-class ServeServer:
-    """JSON-over-TCP batch-evaluation server for one artifact registry."""
+class ServeServer(BaseProtocolServer):
+    """Batch-evaluation server for one artifact registry.
+
+    Speaks newline-JSON and (post-negotiation) ``binary.v1`` frames on
+    the same port; see :class:`~repro.serve.base.BaseProtocolServer`.
+    """
 
     def __init__(
         self,
@@ -185,224 +226,57 @@ class ServeServer:
         max_pending: int = DEFAULT_MAX_PENDING,
         request_deadline: float = DEFAULT_REQUEST_DEADLINE,
         metrics: Optional[ServerMetrics] = None,
+        binary: bool = True,
     ):
+        super().__init__(
+            host, port,
+            max_pending=max_pending,
+            request_deadline=request_deadline,
+            metrics=metrics,
+            binary=binary,
+        )
         self.registry = registry
-        self.host = host
-        self.requested_port = port
-        self.metrics = metrics or ServerMetrics()
         self.evaluator = BatchEvaluator(registry, self.metrics)
         self.dispatcher = BatchingDispatcher(
             self.evaluator, max_batch=max_batch, batch_window=batch_window
         )
-        self.max_pending = max_pending
-        self.request_deadline = request_deadline
-        self._server: Optional[asyncio.AbstractServer] = None
-        self._inflight = 0
-        self._draining = False
-        #: Every in-flight request task, across connections (drain path).
-        self._tasks: set = set()
 
-    # ------------------------------------------------------------------
     async def start(self) -> "ServeServer":
-        """Bind and start accepting connections."""
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.requested_port
-        )
+        await super().start()
         return self
 
-    @property
-    def port(self) -> int:
-        """The bound port (after :meth:`start`)."""
-        assert self._server is not None, "server not started"
-        return self._server.sockets[0].getsockname()[1]
-
-    async def aclose(self) -> None:
-        """Graceful drain: stop accepting, flush batches, await in-flight.
-
-        Requests that arrive while draining are answered with a
-        ``shutting_down`` error; requests already admitted get
-        :data:`DRAIN_TIMEOUT` seconds to finish before the transport is
-        torn down under them.
-        """
-        self._draining = True
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
+    def _before_drain(self) -> None:
         self.dispatcher.flush_all()
-        if self._tasks:
-            try:
-                await asyncio.wait_for(
-                    asyncio.gather(*list(self._tasks), return_exceptions=True),
-                    DRAIN_TIMEOUT,
-                )
-            except asyncio.TimeoutError:
-                for task in self._tasks:
-                    task.cancel()
-
-    async def serve_forever(self) -> None:
-        """Run until cancelled."""
-        assert self._server is not None, "server not started"
-        await self._server.serve_forever()
 
     # ------------------------------------------------------------------
-    async def _handle_connection(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        write_lock = asyncio.Lock()
-        pending: set = set()
-        try:
-            while True:
-                line = await reader.readline()
-                if not line:
-                    break
-                if not line.strip():
-                    continue
-                if maybe_fire("socket.drop"):
-                    # Injected transport failure: drop the connection
-                    # abruptly, mid-request, without a response — the
-                    # client's reconnect path has to cope with exactly
-                    # this.
-                    writer.transport.abort()
-                    break
-                # Handle each request as its own task so a pipelining
-                # client's requests can coalesce with each other.
-                task = asyncio.ensure_future(
-                    self._handle_line(line, writer, write_lock)
-                )
-                pending.add(task)
-                task.add_done_callback(pending.discard)
-                self._tasks.add(task)
-                task.add_done_callback(self._tasks.discard)
-            if pending:
-                await asyncio.gather(*pending, return_exceptions=True)
-        except (ConnectionResetError, BrokenPipeError):
-            pass
-        except asyncio.CancelledError:
-            pass  # loop shutdown: fall through and close the transport
-        finally:
-            for task in pending:
-                task.cancel()
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
-                pass
-
-    async def _handle_line(
-        self,
-        line: bytes,
-        writer: asyncio.StreamWriter,
-        write_lock: asyncio.Lock,
-    ) -> None:
-        loop = asyncio.get_running_loop()
-        t0 = loop.time()
-        ts = time.time()
-        op_name = "invalid"
-        req_id: Any = None
-        try:
-            obj = parse_request(line)
-            req_id = obj.get("id")
-            op_name = obj["op"]
-            # Probes bypass admission control: health checks must keep
-            # answering on an overloaded or draining server.
-            if obj["op"] in ("ping", "health"):
-                response = await self._dispatch(obj)
-                response.setdefault("id", req_id)
-            elif self._draining:
-                self.metrics.record_error()
-                response = error_response(
-                    req_id, "server is shutting down", code="shutting_down"
-                )
-            elif self._inflight >= self.max_pending:
-                self.metrics.record_overload()
-                response = error_response(
-                    req_id,
-                    f"server overloaded: {self._inflight} requests in "
-                    f"flight (max_pending={self.max_pending}); retry later",
-                    code="overloaded",
-                )
-            else:
-                self._inflight += 1
-                try:
-                    response = await asyncio.wait_for(
-                        self._dispatch(obj), self.request_deadline
-                    )
-                finally:
-                    self._inflight -= 1
-                if loop.time() - t0 > self.request_deadline:
-                    # A batch blocking the loop can outlive its deadline
-                    # without wait_for ever firing; the deadline is part
-                    # of the response contract either way (gRPC
-                    # semantics: exceeded even if the work finished).
-                    raise asyncio.TimeoutError
-                response.setdefault("id", req_id)
-        except asyncio.TimeoutError:
-            self.metrics.record_deadline()
-            response = error_response(
-                req_id,
-                f"request exceeded the {self.request_deadline}s deadline",
-                code="deadline_exceeded",
-            )
-        except OracleUnavailable as e:
-            self.metrics.record_error()
-            response = error_response(req_id, str(e), code=e.code)
-        except ProtocolError as e:
-            self.metrics.record_error()
-            response = error_response(req_id, str(e))
-        except (KeyError, ValueError) as e:
-            self.metrics.record_error()
-            msg = e.args[0] if e.args and isinstance(e.args[0], str) else str(e)
-            response = error_response(req_id, msg)
-        except asyncio.CancelledError:
-            raise
-        except Exception as e:
-            # Whatever happens, the client gets *a* response: an
-            # unanswered request is a hang, which is the one failure mode
-            # the server must never have.
-            self.metrics.record_error()
-            response = error_response(req_id, f"internal error: {e}")
-        seconds = loop.time() - t0
-        self.metrics.record_request(seconds)
-        # Handlers interleave on the loop thread, so the request span is
-        # recorded post hoc rather than held open across awaits.
-        get_tracer().record_span(
-            "serve.request", ts, seconds,
-            op=op_name, ok=bool(response.get("ok")),
+    async def _op_eval(self, obj: dict) -> dict:
+        fields = parse_eval_request(obj)
+        level, _fmt = self.registry.resolve_level(
+            fields["fmt"], fields["level"]
         )
-        async with write_lock:
-            writer.write(encode_response(response))
-            await writer.drain()
+        mode = resolve_mode(fields["mode"])
+        result = await self.dispatcher.submit(
+            fields["fn"], fields["inputs"], level, mode
+        )
+        # The connection expands ``_result`` in its own wire mode (packed
+        # frame or JSON lists), so no conversion happens here.
+        return {"id": obj.get("id"), "ok": True, "_result": result}
 
-    async def _dispatch(self, obj: dict) -> dict:
-        op = obj["op"]
-        if op == "eval":
-            fields = parse_eval_request(obj)
-            level, _fmt = self.registry.resolve_level(
-                fields["fmt"], fields["level"]
-            )
-            mode = resolve_mode(fields["mode"])
-            result = await self.dispatcher.submit(
-                fields["fn"], fields["inputs"], level, mode
-            )
-            return eval_response(obj.get("id"), result)
-        if op == "stats":
-            stats = self.metrics.snapshot()
-            stats["breaker"] = self.evaluator.breaker.snapshot()
-            return {"ok": True, "stats": stats}
-        if op == "metrics":
-            # The server's own registry plus the process-global one
-            # (phase/pool/cache instruments); family names are disjoint.
-            payload = self.metrics.to_json()
-            payload.update(get_registry().to_json())
-            text = self.metrics.to_prometheus() + get_registry().to_prometheus()
-            return {"ok": True, "metrics": payload, "prometheus": text}
-        if op == "info":
-            return {"ok": True, "info": self.registry.describe()}
-        if op == "ping":
-            return {"ok": True, "pong": True}
-        if op == "health":
-            return {"ok": True, "health": self.health()}
-        raise ProtocolError(f"unknown op {op!r}")
+    async def _op_stats(self, obj: dict) -> dict:
+        stats = self.metrics.snapshot()
+        stats["breaker"] = self.evaluator.breaker.snapshot()
+        return {"ok": True, "stats": stats}
+
+    async def _op_metrics(self, obj: dict) -> dict:
+        # The server's own registry plus the process-global one
+        # (phase/pool/cache instruments); family names are disjoint.
+        payload = self.metrics.to_json()
+        payload.update(get_registry().to_json())
+        text = self.metrics.to_prometheus() + get_registry().to_prometheus()
+        return {"ok": True, "metrics": payload, "prometheus": text}
+
+    async def _op_info(self, obj: dict) -> dict:
+        return {"ok": True, "info": self.registry.describe()}
 
     def health(self) -> dict:
         """Readiness snapshot (the ``health`` op body; no eval cost)."""
@@ -424,16 +298,24 @@ class ServeServer:
 
 
 class ServerThread:
-    """A :class:`ServeServer` on a daemon thread (tests, CI, notebooks)."""
+    """A serving loop on a daemon thread (tests, CI, notebooks).
 
-    def __init__(self, registry: ServingRegistry, **server_kwargs):
+    Runs a :class:`ServeServer` by default; subclasses override
+    :meth:`_make_server` to run any :class:`BaseProtocolServer` (the
+    fleet's :class:`~repro.serve.fleet.FleetThread` does).
+    """
+
+    def __init__(self, registry: Optional[ServingRegistry], **server_kwargs):
         self.registry = registry
         self.server_kwargs = server_kwargs
-        self.server: Optional[ServeServer] = None
+        self.server: Optional[BaseProtocolServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
         self._ready = threading.Event()
         self._startup_error: Optional[BaseException] = None
+
+    def _make_server(self) -> BaseProtocolServer:
+        return ServeServer(self.registry, **self.server_kwargs)
 
     def start(self, timeout: float = 10.0) -> "ServerThread":
         """Start the loop thread; returns once the socket is listening."""
@@ -450,9 +332,7 @@ class ServerThread:
         self._loop = loop
         asyncio.set_event_loop(loop)
         try:
-            self.server = loop.run_until_complete(
-                ServeServer(self.registry, **self.server_kwargs).start()
-            )
+            self.server = loop.run_until_complete(self._make_server().start())
         except BaseException as e:  # surfaced to start()
             self._startup_error = e
             self._ready.set()
@@ -498,180 +378,6 @@ class ServerThread:
         self.stop()
 
 
-class ServeClient:
-    """Small synchronous client for the newline-JSON protocol.
-
-    Transient transport failures (connection reset, server-side drop,
-    broken pipe) are retried transparently: the client reconnects with
-    exponential backoff — at most ``reconnect_attempts`` times per
-    request — and re-sends every request it has not yet seen a response
-    for.  Requests are idempotent (pure evaluation), so replaying them
-    is always safe.  Once the attempt budget is exhausted the underlying
-    ``ConnectionError`` propagates.
-    """
-
-    def __init__(
-        self,
-        host: str,
-        port: int,
-        timeout: float = 30.0,
-        *,
-        reconnect_attempts: int = 3,
-        reconnect_backoff: float = 0.05,
-    ):
-        self._host = host
-        self._port = port
-        self._timeout = timeout
-        self.reconnect_attempts = max(0, int(reconnect_attempts))
-        self.reconnect_backoff = reconnect_backoff
-        #: Lifetime count of successful reconnects (observable in tests).
-        self.reconnects = 0
-        self._next_id = 0
-        self._responses: Dict[Any, dict] = {}
-        #: Requests sent but not yet answered, by id (replayed on
-        #: reconnect; insertion order preserves the original send order).
-        self._unanswered: Dict[Any, dict] = {}
-        self._sock: Optional[socket.socket] = None
-        self._file = None
-        self._connect()
-
-    # ------------------------------------------------------------------
-    def _connect(self) -> None:
-        self._sock = socket.create_connection(
-            (self._host, self._port), timeout=self._timeout
-        )
-        # One small JSON line per request: Nagle only adds latency here.
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        self._file = self._sock.makefile("rwb")
-
-    def _reconnect(self) -> None:
-        """Bounded reconnect-with-backoff, then replay unanswered requests."""
-        try:
-            self.close()
-        except OSError:
-            pass
-        last: Optional[Exception] = None
-        for attempt in range(self.reconnect_attempts):
-            if attempt:
-                time.sleep(self.reconnect_backoff * (2 ** (attempt - 1)))
-            try:
-                self._connect()
-                break
-            except OSError as e:
-                last = e
-        else:
-            raise ConnectionError(
-                f"could not reconnect to {self._host}:{self._port} after "
-                f"{self.reconnect_attempts} attempts"
-            ) from last
-        self.reconnects += 1
-        for obj in list(self._unanswered.values()):
-            self._write(obj)
-
-    def _write(self, obj: dict) -> None:
-        self._file.write((json.dumps(obj) + "\n").encode())
-        self._file.flush()
-
-    def _send(self, obj: dict) -> Any:
-        self._next_id += 1
-        obj.setdefault("id", self._next_id)
-        self._unanswered[obj["id"]] = obj
-        try:
-            self._write(obj)
-        except (ConnectionError, BrokenPipeError, OSError):
-            if not self.reconnect_attempts:
-                raise
-            self._reconnect()  # replays obj along with older unanswered
-        return obj["id"]
-
-    def _recv(self, want_id: Any) -> dict:
-        drops = 0
-        while want_id not in self._responses:
-            try:
-                line = self._file.readline()
-                if not line:
-                    raise ConnectionError("server closed the connection")
-            except (ConnectionError, BrokenPipeError, socket.timeout, OSError):
-                # Bound reconnects per call too, so a connection that is
-                # dropped on *every* replay cannot retry forever.
-                drops += 1
-                if drops > self.reconnect_attempts:
-                    raise
-                self._reconnect()
-                continue
-            resp = json.loads(line)
-            rid = resp.get("id")
-            self._responses[rid] = resp
-            self._unanswered.pop(rid, None)
-        return self._responses.pop(want_id)
-
-    def request(self, obj: dict) -> dict:
-        """One synchronous round trip."""
-        return self._recv(self._send(obj))
-
-    # ------------------------------------------------------------------
-    def eval(
-        self,
-        fn: str,
-        inputs,
-        *,
-        fmt=None,
-        level: Optional[int] = None,
-        mode: str = "rne",
-    ) -> dict:
-        """Evaluate a batch; returns the decoded response dict."""
-        req: dict = {"op": "eval", "fn": fn, "inputs": list(inputs), "mode": mode}
-        if fmt is not None:
-            req["fmt"] = fmt
-        if level is not None:
-            req["level"] = level
-        return self.request(req)
-
-    def eval_many(self, requests: List[dict]) -> List[dict]:
-        """Pipeline several eval requests at once (they may coalesce
-        with each other server-side); responses in request order."""
-        ids = [self._send(dict(r, op="eval")) for r in requests]
-        return [self._recv(i) for i in ids]
-
-    def stats(self) -> dict:
-        """The server's metrics snapshot."""
-        return self.request({"op": "stats"})["stats"]
-
-    def metrics(self, fmt: str = "json"):
-        """The server's unified metrics dump.
-
-        ``fmt="json"`` returns the registry-model dict; ``"prometheus"``
-        returns the text exposition format.
-        """
-        resp = self.request({"op": "metrics"})
-        return resp["prometheus"] if fmt == "prometheus" else resp["metrics"]
-
-    def info(self) -> dict:
-        """The server's registry description."""
-        return self.request({"op": "info"})["info"]
-
-    def ping(self) -> bool:
-        """Liveness probe."""
-        return bool(self.request({"op": "ping"}).get("pong"))
-
-    def health(self) -> dict:
-        """The server's readiness/degradation snapshot."""
-        return self.request({"op": "health"})["health"]
-
-    def close(self) -> None:
-        """Close the connection."""
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
-
-    def __enter__(self) -> "ServeClient":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
-
-
 def start_server_thread(
     family,
     directory: Optional[Path] = None,
@@ -683,6 +389,7 @@ def start_server_thread(
     batch_window: float = DEFAULT_BATCH_WINDOW,
     max_pending: int = DEFAULT_MAX_PENDING,
     request_deadline: float = DEFAULT_REQUEST_DEADLINE,
+    binary: bool = True,
 ) -> ServerThread:
     """Build a registry and serve it from a daemon thread (convenience)."""
     from ..mp.oracle import FUNCTION_NAMES
@@ -698,4 +405,10 @@ def start_server_thread(
         batch_window=batch_window,
         max_pending=max_pending,
         request_deadline=request_deadline,
+        binary=binary,
     ).start()
+
+
+# The synchronous client moved to its own module; re-exported so the
+# historical ``from repro.serve.server import ServeClient`` keeps working.
+from .client import ServeClient  # noqa: E402  (import cycle: client is leaf)
