@@ -23,7 +23,10 @@ Three payload shapes are understood, auto-detected by their keys:
   and the batched-vs-single speedup — higher is better;
 * serve_fleet (``bench_serve_fleet.py --json``): per-worker-count,
   per-batch-size ``inputs_per_sec`` plus the fan-in scenario and the
-  best batch-1024 summary — higher is better.
+  best batch-1024 summary — higher is better;
+* serve_table (``bench_serve_table.py --json``): per-tier (table /
+  vector), per-batch-size ``inputs_per_sec`` plus the table-over-vector
+  speedup summary — higher is better.
 
 A metric present in the baseline but missing from the candidate counts
 as a regression (coverage loss); metrics that only exist in the
@@ -92,19 +95,37 @@ def _serve_fleet_metrics(payload):
     return out
 
 
+def _serve_table_metrics(payload):
+    out = {}
+    for tier, block in sorted(payload.get("tiers", {}).items()):
+        for row in block.get("series", []):
+            out[f"serve_table.{tier}.batch_{row['batch']}.inputs_per_sec"] = (
+                row["inputs_per_sec"], HIGHER,
+            )
+    summary = payload.get("summary", {})
+    if summary.get("speedup_table_vs_vector") is not None:
+        out["serve_table.speedup_table_vs_vector"] = (
+            summary["speedup_table_vs_vector"], HIGHER,
+        )
+    return out
+
+
 def extract_metrics(payload):
     """``name -> (value, direction)`` for one payload; kind auto-detected."""
-    # "fleets" first: the fleet payload also carries a scalar
-    # "functions" count, which must not read as a generation bench.
+    # "fleets"/"tiers" first: those payloads also carry keys ("functions"
+    # as a scalar count, a top-level "series") that the older kinds use.
     if "fleets" in payload:
         return "serve_fleet", _serve_fleet_metrics(payload)
+    if "tiers" in payload:
+        return "serve_table", _serve_table_metrics(payload)
     if "functions" in payload:
         return "generation", _generation_metrics(payload)
     if "series" in payload:
         return "serve", _serve_metrics(payload)
     raise ValueError(
         "unrecognised payload: expected a 'functions' (generation), "
-        "'fleets' (serve_fleet), or 'series' (serve) key"
+        "'fleets' (serve_fleet), 'tiers' (serve_table), or 'series' "
+        "(serve) key"
     )
 
 

@@ -70,12 +70,14 @@ from .verify import verify_exhaustive
 # through sys.modules.
 from . import api
 from .api import (
+    build_table,
     evaluate,
     generate,
     load_library,
     make_evaluator,
     oracle_session,
     resolve_family,
+    table_index,
     verify,
 )
 
@@ -109,6 +111,7 @@ __all__ = [
     "TENSORFLOAT32",
     "TINY_CONFIG",
     "api",
+    "build_table",
     "configure_tracing",
     "evaluate",
     "evaluate_generated",
@@ -127,6 +130,7 @@ __all__ = [
     "save_generated",
     "solve_constraints",
     "span",
+    "table_index",
     "traced",
     "verify",
     "verify_exhaustive",

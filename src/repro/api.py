@@ -49,12 +49,14 @@ __all__ = [
     "FAMILY_CONFIGS",
     "GenerateResult",
     "artifact_index",
+    "build_table",
     "evaluate",
     "generate",
     "load_library",
     "make_evaluator",
     "oracle_session",
     "resolve_family",
+    "table_index",
     "verify",
 ]
 
@@ -223,12 +225,59 @@ def make_evaluator(
     *,
     names: Iterable[str] = FUNCTION_NAMES,
     oracle: Optional[Oracle] = None,
+    tiers=None,
 ) -> BatchEvaluator:
     """A reusable batch evaluator (artifacts loaded once; the object the
     server serves from).  Prefer this over repeated :func:`evaluate`
-    calls on hot paths."""
+    calls on hot paths.
+
+    ``tiers`` selects the dispatch table: ``None`` (all built-in tiers,
+    including the precomputed-table tier when ``.tbl`` sidecars exist),
+    a :class:`~repro.serve.tiers.TierRegistry`, or a sequence of tier
+    names — ``tiers=("vector", "scalar", "oracle")`` pins the polynomial
+    path.
+    """
     registry = ServingRegistry(family, directory, names=names, oracle=oracle)
-    return BatchEvaluator(registry)
+    return BatchEvaluator(registry, tiers=tiers)
+
+
+def build_table(
+    fn: str,
+    family: FamilyLike = "paper",
+    *,
+    fmt: Optional[Union[str, int, FPFormat]] = None,
+    level: Optional[int] = None,
+    mode: Union[str, RoundingMode] = RoundingMode.RNE,
+    directory: Optional[Union[str, Path]] = None,
+    out_dir: Optional[Union[str, Path]] = None,
+    verify: bool = True,
+    progress=None,
+) -> Path:
+    """Build the dense precomputed ``.tbl`` result table for one
+    ``(fn, format, mode)`` — every encoding of a small format evaluated
+    through the vectorized runtime, verified, and written atomically
+    next to the artifact so serving discovers it as the ``table`` tier.
+
+    See :func:`repro.libm.tables.build_table` for the file format and
+    limits (formats up to 2^24 encodings; bfloat16 is 2^16).
+    """
+    from .libm.tables import build_table as _build
+
+    config = resolve_family(family)
+    return _build(
+        fn, config, fmt=fmt, level=level, mode=mode,
+        directory=directory, out_dir=out_dir, verify=verify,
+        progress=progress,
+    )
+
+
+def table_index(directory: Optional[Union[str, Path]] = None):
+    """Header metadata of every ``.tbl`` table on disk (corrupt files are
+    reported with an ``error`` key, never raised); the table analogue of
+    :func:`artifact_index`."""
+    from .libm.tables import available_tables
+
+    return available_tables(directory)
 
 
 def evaluate(

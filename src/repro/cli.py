@@ -6,6 +6,7 @@ Commands:
     eval      — evaluate a generated function at given inputs
     codegen   — emit C code for a generated function
     info      — show artifact properties (Table-1 style row)
+    tables    — build/list dense precomputed .tbl result tables
     serve     — batch-evaluation server (JSON over TCP)
     obs       — observability: dump metrics, summarize span traces
 
@@ -191,6 +192,57 @@ def cmd_info(args) -> int:
             f"{fam:<10} {fn:<7} {gen.num_pieces:>7} {gen.max_degree():>4} "
             f"{terms:>18} {len(gen.specials):>9} {gen.storage_bytes:>6}"
         )
+    return 0
+
+
+def cmd_tables(args) -> int:
+    """`tables`: build or list dense precomputed ``.tbl`` result tables."""
+    import os
+
+    from .libm.tables import TableError
+
+    if args.table_cmd == "list":
+        rows = api.table_index(args.dir)
+        if not rows:
+            print("no tables found; run `python -m repro tables build` first")
+            return 1
+        print(
+            f"{'family':<10} {'fn':<7} {'format':<14} {'mode':<5} "
+            f"{'entries':>8} {'bytes':>9}"
+        )
+        status = 0
+        for meta in rows:
+            if "error" in meta:
+                print(f"corrupt: {meta['path']}: {meta['error']}")
+                status = 1
+                continue
+            print(
+                f"{meta['family']:<10} {meta['fn']:<7} {meta['format']:<14} "
+                f"{meta['mode']:<5} {meta['count']:>8} "
+                f"{os.path.getsize(meta['path']):>9}"
+            )
+        return status
+
+    config = _family_of(args.family)
+    built = 0
+    for fn in args.functions:
+        try:
+            path = api.build_table(
+                fn, config,
+                fmt=args.fmt, level=args.level, mode=args.mode,
+                directory=args.dir, out_dir=args.out_dir,
+                verify=not args.no_verify,
+            )
+        except FileNotFoundError:
+            print(f"skipping {fn}: no {config.name} artifact on disk")
+            continue
+        except (TableError, ValueError) as e:
+            raise SystemExit(str(e))
+        print(f"built {path} ({os.path.getsize(path)} bytes)")
+        built += 1
+    if not built:
+        print("no tables built (no artifacts matched)", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -441,6 +493,40 @@ def main(argv=None) -> int:
     i = sub.add_parser("info", help="list artifact properties")
     i.add_argument("--dir", default=None)
     i.set_defaults(func=cmd_info)
+
+    t = sub.add_parser(
+        "tables",
+        help="build/list dense precomputed .tbl result tables",
+        description="Dense precomputed result tables for small formats: "
+        "`build` exhaustively evaluates a (fn, format, mode) through the "
+        "vectorized runtime and writes an mmap-able .tbl sidecar next to "
+        "the artifact; the serve layer then answers member inputs from "
+        "the table tier (one np.take per batch).",
+    )
+    tsub = t.add_subparsers(dest="table_cmd", required=True)
+    tb = tsub.add_parser("build", help="build .tbl tables for a family")
+    tb.add_argument("--family", default="paper")
+    tb.add_argument("--functions", nargs="*", default=list(FUNCTION_NAMES))
+    tb.add_argument(
+        "--fmt", default=None,
+        help="target format name (e.g. bfloat16); dense tables need a"
+             " small format — float32-sized spaces are refused",
+    )
+    tb.add_argument("--level", type=int, default=None)
+    tb.add_argument("--mode", default="rne")
+    tb.add_argument("--dir", default=None, help="artifact directory to read")
+    tb.add_argument(
+        "--out-dir", default=None,
+        help="where to write .tbl files (default: next to the artifacts)",
+    )
+    tb.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the re-read verification sweep after writing",
+    )
+    tb.set_defaults(func=cmd_tables)
+    tl = tsub.add_parser("list", help="list .tbl tables on disk")
+    tl.add_argument("--dir", default=None)
+    tl.set_defaults(func=cmd_tables)
 
     s = sub.add_parser("serve", help="serve batch evaluation over TCP")
     s.add_argument("--family", default="mini")

@@ -110,6 +110,22 @@ def round_doubles_to_bits(
     (round-to-odd saturates at the odd ``max_finite`` pattern).  Returns
     an int64 array of patterns in ``[0, 2**fmt.total_bits)``.
     """
+    return round_doubles_to_bits_checked(y, fmt, mode)[0]
+
+
+def round_doubles_to_bits_checked(
+    y: np.ndarray, fmt: FPFormat, mode: RoundingMode
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(bits, exact)``: the rounded patterns plus an exactness mask.
+
+    ``exact[i]`` is True iff ``y[i]`` is *itself* a value of ``fmt``
+    (including signed zeros, infinities and NaN) — equivalently, iff the
+    rounding discarded nothing.  The mask falls out of the rounding
+    construction for free (``remainder == 0`` and no overflow), so the
+    serving layer gets its member test and the table tier's index from
+    one pass instead of a round-trip through
+    :func:`decode_bits_to_doubles`.  The mask is mode-independent.
+    """
     tab = _tables(fmt)
     m, emin = tab.m, tab.emin
 
@@ -171,7 +187,11 @@ def round_doubles_to_bits(
     pattern = np.where(inf_m, tab.inf_pattern, pattern)
 
     bits = np.where(sign, pattern | tab.sign_mask, pattern)
-    return np.where(nan_m, tab.nan_pattern, bits)
+    # Exact membership: nothing discarded and no overflow.  Specials are
+    # members by definition (their magnitudes were zeroed above, so both
+    # conditions already hold for them).
+    exact = ~inexact & ~over
+    return np.where(nan_m, tab.nan_pattern, bits), exact
 
 
 def decode_bits_to_doubles(bits: np.ndarray, fmt: FPFormat) -> np.ndarray:
@@ -197,8 +217,4 @@ def doubles_in_format(x: np.ndarray, fmt: FPFormat) -> np.ndarray:
     signed zeros, infinities and NaN)?  Out-of-format doubles are where
     the serving layer drops from the vector tier to the scalar runtime."""
     x = np.asarray(x, dtype=np.float64)
-    back = decode_bits_to_doubles(round_doubles_to_bits(x, fmt, RoundingMode.RTZ), fmt)
-    same = back.view(np.int64) == x.view(np.int64)
-    # -0.0 vs 0.0 compare unequal bitwise only if the sign survived, which
-    # round/decode preserves; NaN payloads canonicalize, so accept any NaN.
-    return same | (np.isnan(x) & np.isnan(back))
+    return round_doubles_to_bits_checked(x, fmt, RoundingMode.RTZ)[1]

@@ -5,9 +5,11 @@ progressive-polynomial artifacts once, then answer "correctly rounded
 ``fn(x)`` in this format under this rounding mode" for whole batches —
 over TCP (:class:`ServeServer`) or in process (:class:`BatchEvaluator`).
 Concurrent scalar requests coalesce into single vectorized kernel
-sweeps; responses report which fallback tier (vector / scalar / oracle)
-produced each result; the ``stats`` op exposes counters and batch-size /
-latency histograms.
+sweeps; responses report which tier (table / vector / scalar / oracle,
+see :mod:`repro.serve.tiers`) produced each result; the ``stats`` op
+exposes per-tier counters and batch-size / latency histograms.  Small
+formats can be served from dense precomputed ``.tbl`` tables
+(:mod:`repro.libm.tables`) — one mmap'd ``np.take`` per batch.
 
 Connections speak newline-delimited JSON and may negotiate up to the
 zero-copy ``binary.v1`` frame protocol (:mod:`repro.serve.frames`) for
@@ -26,10 +28,6 @@ from .evaluator import (
     BatchEvaluator,
     BatchResult,
     OracleUnavailable,
-    TIER_ORACLE,
-    TIER_SCALAR,
-    TIER_VECTOR,
-    TIERS,
     resolve_mode,
 )
 from .fleet import FleetRouter, FleetThread, start_fleet_thread
@@ -47,6 +45,7 @@ from .server import (
     ServerThread,
     start_server_thread,
 )
+from .tiers import Tier, TierRegistry, default_tier_registry
 
 __all__ = [
     "AsyncServeClient",
@@ -70,10 +69,9 @@ __all__ = [
     "ServerThread",
     "ServingRegistry",
     "ShardMap",
-    "TIER_ORACLE",
-    "TIER_SCALAR",
-    "TIER_VECTOR",
-    "TIERS",
+    "Tier",
+    "TierRegistry",
+    "default_tier_registry",
     "resolve_family",
     "resolve_level_for",
     "resolve_mode",
@@ -81,3 +79,17 @@ __all__ = [
     "start_server_thread",
     "tune_gc_for_serving",
 ]
+
+#: Deprecated tier constants, forwarded lazily so importing them warns
+#: (mirrors the ``parallel/timing.py`` → ``obs/phases.py`` shim).
+_DEPRECATED_TIERS = ("TIERS", "TIER_VECTOR", "TIER_SCALAR", "TIER_ORACLE")
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_TIERS:
+        # evaluator.__getattr__ owns the warning text; re-raise its
+        # DeprecationWarning from this import site.
+        from . import evaluator
+
+        return getattr(evaluator, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -3,11 +3,19 @@
 :class:`BatchEvaluator` is the serving core, shared by the in-process
 API, the TCP server and the ``repro.api.evaluate`` facade.  One call
 answers "round ``fn`` at these inputs to this ``(format, mode, level)``"
-for a whole batch, dispatching each element to the cheapest tier that
-still guarantees the correctly rounded answer:
+for a whole batch, dispatching each element to the cheapest registered
+tier (:mod:`repro.serve.tiers`) that still guarantees the correctly
+rounded answer:
+
+``table``
+    A dense precomputed ``.tbl`` result table (built offline by
+    :func:`repro.libm.tables.build_table`) answers member inputs of
+    small formats with one ``np.take`` on a memory-mapped array — no
+    polynomial evaluation at all.  Used when a fresh table for
+    ``(fn, format, mode)`` sits next to the artifact.
 
 ``vector``
-    The numpy kernel sweeps the whole batch in one call and the result
+    The numpy kernel sweeps the batch in one call and the result
     doubles are rounded to bit patterns with the vectorized integer
     rounding — bit-identical to the scalar path (both halves are tested
     exhaustively).  Used when the artifact is loaded and the input is a
@@ -36,14 +44,18 @@ when they start erroring or blowing their latency budget the breaker
 opens and oracle-tier batches are *shed* with
 :class:`OracleUnavailable` (the server maps it to a structured
 ``oracle_unavailable`` error) instead of queuing unbounded slow work.
-Vector/scalar tiers are never shed — their artifacts carry the
-correctness proof and their latency is bounded.
+The artifact-backed tiers are never shed — they carry the correctness
+proof and their latency is bounded.
+
+The historical module constants (``TIERS``, ``TIER_VECTOR``, ...) are
+deprecated re-exports over the tier registry; import tier names as
+plain strings or use :func:`repro.serve.tiers.default_tier_registry`.
 """
 
 from __future__ import annotations
 
 import time
-from fractions import Fraction
+import warnings
 from typing import List, Optional, Sequence, Union
 
 import numpy as np
@@ -51,32 +63,56 @@ import numpy as np
 from ..fp.encode import FPValue
 from ..fp.format import FPFormat
 from ..fp.rounding import RoundingMode
-from ..libm.runtime import round_double_to
-from ..libm.vround import (
-    decode_bits_to_doubles,
-    doubles_in_format,
-    round_doubles_to_bits,
-    supports_vector_rounding,
-)
+from ..libm.vround import decode_bits_to_doubles, supports_vector_rounding
 from ..resilience.breaker import CircuitBreaker
-from ..resilience.faults import maybe_raise, maybe_sleep
 from .metrics import ServerMetrics
 from .registry import ServingRegistry
+from .tiers import (
+    CLAIMS_ALL,
+    CLAIMS_MEMBERS,
+    CLAIMS_NONE,
+    EvalContext,
+    OracleUnavailable,
+    TierRegistry,
+    UNCLAIMED,
+    default_tier_registry,
+    resolve_tiers,
+)
 
-#: Fallback-tier labels, fastest first.
-TIER_VECTOR = "vector"
-TIER_SCALAR = "scalar"
-TIER_ORACLE = "oracle"
-#: Tier names in wire order; ``uint8`` tier codes index this tuple
-#: (shared with the binary frame protocol, :mod:`repro.serve.frames`).
-TIERS = (TIER_VECTOR, TIER_SCALAR, TIER_ORACLE)
-_CODE_VECTOR, _CODE_SCALAR, _CODE_ORACLE = range(3)
+__all__ = [
+    "BatchEvaluator",
+    "BatchResult",
+    "OracleUnavailable",
+    "resolve_mode",
+]
+
+#: Wire-code → name table of the built-in tiers (codes are frozen; see
+#: :mod:`repro.serve.tiers`).  Module-internal: results built from name
+#: lists or code arrays convert through this.
+_WIRE_NAMES = default_tier_registry().wire_names()
+_WIRE_CODES = default_tier_registry().wire_codes()
+
+#: Deprecated module constants, served via ``__getattr__`` so importing
+#: them warns exactly once per site without breaking old code.
+_DEPRECATED = {
+    "TIERS": ("vector", "scalar", "oracle"),
+    "TIER_VECTOR": "vector",
+    "TIER_SCALAR": "scalar",
+    "TIER_ORACLE": "oracle",
+}
 
 
-class OracleUnavailable(RuntimeError):
-    """Oracle-tier work shed because its circuit breaker is open."""
-
-    code = "oracle_unavailable"
+def __getattr__(name: str):
+    if name in _DEPRECATED:
+        warnings.warn(
+            f"repro.serve.evaluator.{name} is deprecated; tier names are "
+            f"plain strings and the tier table lives in "
+            f"repro.serve.tiers.default_tier_registry()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _DEPRECATED[name]
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def resolve_mode(mode: Union[str, RoundingMode]) -> RoundingMode:
@@ -188,7 +224,8 @@ class BatchResult:
     @property
     def raw(self) -> List[float]:
         """Raw double outputs of the progressive runtime (pre-rounding);
-        for the oracle tier this is the decoded rounded value itself."""
+        for the oracle and table tiers this is the decoded rounded value
+        itself."""
         return self._raw.as_list()
 
     @raw.setter
@@ -197,7 +234,7 @@ class BatchResult:
 
     @property
     def tiers(self) -> List[str]:
-        """Which tier produced each element: vector / scalar / oracle."""
+        """Which tier produced each element: table/vector/scalar/oracle."""
         return self._tiers.as_names()
 
     @tiers.setter
@@ -222,7 +259,8 @@ class BatchResult:
 
     @property
     def tier_codes(self) -> np.ndarray:
-        """``tiers`` as uint8 codes indexing :data:`TIERS`."""
+        """``tiers`` as uint8 wire codes (see
+        :meth:`repro.serve.tiers.TierRegistry.wire_names`)."""
         return self._tiers.as_codes()
 
     def __len__(self) -> int:
@@ -234,7 +272,7 @@ class BatchResult:
 
 
 class _TierColumn:
-    """The tier column: uint8 codes and/or the historical string list."""
+    """The tier column: uint8 wire codes and/or the historical string list."""
 
     __slots__ = ("_codes", "_names")
 
@@ -257,13 +295,13 @@ class _TierColumn:
     def as_codes(self) -> np.ndarray:
         if self._codes is None:
             self._codes = np.asarray(
-                [TIERS.index(t) for t in self._names], dtype=np.uint8
+                [_WIRE_CODES[t] for t in self._names], dtype=np.uint8
             )
         return self._codes
 
     def as_names(self) -> List[str]:
         if self._names is None:
-            self._names = [TIERS[c] for c in self._codes.tolist()]
+            self._names = [_WIRE_NAMES[c] for c in self._codes.tolist()]
         return self._names
 
     def __len__(self) -> int:
@@ -271,16 +309,25 @@ class _TierColumn:
 
 
 class BatchEvaluator:
-    """In-process batch-evaluation API over a :class:`ServingRegistry`."""
+    """In-process batch-evaluation API over a :class:`ServingRegistry`.
+
+    ``tiers`` selects the dispatch table: ``None`` (the process-global
+    default registry — table/vector/scalar/oracle), a
+    :class:`~repro.serve.tiers.TierRegistry`, or a sequence of built-in
+    tier names (``tiers=("vector", "scalar", "oracle")`` disables the
+    table tier without touching wire codes).
+    """
 
     def __init__(
         self,
         registry: ServingRegistry,
         metrics: Optional[ServerMetrics] = None,
         breaker: Optional[CircuitBreaker] = None,
+        tiers: Union[None, TierRegistry, Sequence[str]] = None,
     ):
         self.registry = registry
         self.metrics = metrics or ServerMetrics()
+        self.tiers = resolve_tiers(tiers)
         #: Guards the oracle tier only; ``None`` disables shedding.
         self.breaker = breaker if breaker is not None else CircuitBreaker(
             failure_threshold=5, recovery_time=5.0, latency_budget=None
@@ -299,9 +346,11 @@ class BatchEvaluator:
     ) -> BatchResult:
         """Correctly rounded bit patterns for a batch of double inputs.
 
-        ``n_requests`` is how many client requests this batch answers —
-        the coalescing dispatcher passes the fused-request count so the
-        metrics count each client request exactly once.
+        Walks the tier registry in rank order; each tier claims the
+        still-unanswered inputs its capability covers.  ``n_requests``
+        is how many client requests this batch answers — the coalescing
+        dispatcher passes the fused-request count so the metrics count
+        each client request exactly once.
         """
         t0 = time.perf_counter()
         reg = self.registry
@@ -312,82 +361,84 @@ class BatchEvaluator:
         xs = np.ascontiguousarray(np.asarray(inputs, dtype=np.float64))
         n = xs.size
         result = BatchResult(fn, reg.family.name, fmt, level, mode)
-        codes = np.full(n, _CODE_ORACLE, dtype=np.uint8)
+        ctx = EvalContext(reg, fn, fmt, level, mode, xs, breaker=self.breaker)
 
-        if reg.has_artifact(fn):
-            if reg.vector_capable(fn, fmt):
-                member = doubles_in_format(xs, fmt)
-            else:
-                member = np.zeros(n, dtype=bool)
-            if member.all():
-                # The hot path: every input is a member value, so the
-                # whole batch is one kernel sweep + one vectorized
-                # rounding — no per-element Python at all.
-                raw = reg.kernels[fn](xs, level)
-                bits = round_doubles_to_bits(raw, fmt, mode)
-                codes[:] = _CODE_VECTOR
-            else:
-                bits = np.zeros(n, dtype=np.int64)
-                raw = np.zeros(n, dtype=np.float64)
-                if member.any():
-                    kernel = reg.kernels[fn]
-                    ys = kernel(xs[member], level)
-                    bits[member] = round_doubles_to_bits(ys, fmt, mode)
-                    raw[member] = ys
-                    codes[member] = _CODE_VECTOR
-                scalar = reg.scalars[fn]
-                nonmember = np.nonzero(~member)[0]
-                for i in nonmember:
-                    y = scalar(float(xs[i]), level)
-                    bits[i] = round_double_to(y, fmt, mode).bits
-                    raw[i] = y
-                codes[nonmember] = _CODE_SCALAR
-        else:
-            bits = np.zeros(n, dtype=np.int64)
-            raw = np.zeros(n, dtype=np.float64)
-            if self.breaker is not None and not self.breaker.allow():
-                raise OracleUnavailable(
-                    f"no artifact for {fn!r} and the oracle-tier circuit "
-                    f"breaker is open; retry after its recovery window"
+        codes = np.full(n, UNCLAIMED, dtype=np.uint8)
+        bits = np.zeros(n, dtype=np.int64)
+        raw = np.zeros(n, dtype=np.float64)
+        values = np.zeros(n, dtype=np.float64)
+        raw_from_values = np.zeros(n, dtype=bool)
+        have_values = np.zeros(n, dtype=bool)
+        remaining = n
+        for tier in self.tiers:
+            if remaining == 0:
+                break
+            claim = tier.claims(ctx)
+            if claim == CLAIMS_NONE:
+                continue
+            unclaimed = codes == UNCLAIMED
+            if claim == CLAIMS_MEMBERS:
+                take = unclaimed & ctx.member
+            elif claim == CLAIMS_ALL:
+                take = unclaimed
+            else:  # pragma: no cover - claims verdicts are closed
+                raise ValueError(
+                    f"tier {tier.name!r} returned bad claim {claim!r}"
                 )
-            pipe = reg.pipeline(fn)
-            t_oracle = time.perf_counter()
-            try:
-                maybe_sleep("oracle.slow")
-                maybe_raise("oracle.error")
-                for i in range(n):
-                    x = float(xs[i])
-                    # Structural specials come from the pipeline, which
-                    # exists without any generated artifact; they also
-                    # cover domain errors (log of non-positives) the
-                    # oracle has no enclosure for.
-                    y = pipe.special_value(x)
-                    if y is None:
-                        v = reg.oracle.correctly_rounded(
-                            fn, Fraction(x), fmt, mode
-                        )
-                    else:
-                        v = round_double_to(y, fmt, mode)
-                    bits[i] = v.bits
-                    raw[i] = v.to_float()
-            except Exception:
-                if self.breaker is not None:
-                    self.breaker.record_failure(time.perf_counter() - t_oracle)
-                raise
-            if self.breaker is not None:
-                self.breaker.record_success(time.perf_counter() - t_oracle)
+            if not take.any():
+                continue
+            if take.all():
+                # The hot path: one tier answers the whole batch — index
+                # with a slice so nothing is copied on the way in.
+                sel = slice(None)
+            else:
+                sel = np.nonzero(take)[0]
+            tier_bits, tier_raw, tier_values = tier.evaluate(ctx, sel)
+            bits[sel] = tier_bits
+            if tier_values is not None:
+                values[sel] = tier_values
+                have_values[sel] = True
+            if tier_raw is None:
+                raw_from_values[sel] = True
+            else:
+                raw[sel] = tier_raw
+            codes[sel] = tier.code
+            remaining -= int(take.sum())
+        if remaining:
+            raise RuntimeError(
+                f"no serving tier claimed {remaining} of {n} inputs for "
+                f"{fn!r} in {fmt.display_name} (tiers: "
+                f"{', '.join(self.tiers.names())})"
+            )
 
+        if not have_values.all():
+            # Decode only when some tier produced bare bit patterns;
+            # tiers that hand over decoded doubles (table, oracle) skip
+            # this pass entirely on full-batch claims.
+            if supports_vector_rounding(fmt):
+                decoded = decode_bits_to_doubles(bits, fmt)
+            else:
+                decoded = np.asarray(
+                    [FPValue(fmt, int(b)).to_float() for b in bits],
+                    dtype=np.float64,
+                )
+            values = (
+                np.where(have_values, values, decoded)
+                if have_values.any() else decoded
+            )
+        if raw_from_values.any():
+            # Tiers with no pre-rounding double (table lookups) report
+            # the decoded rounded value as raw, like the oracle tier.
+            raw = np.where(raw_from_values, values, raw)
         result.bits = bits
         result.raw = raw
+        result.values = values
         result.tiers = codes
-        if supports_vector_rounding(fmt):
-            result.values = decode_bits_to_doubles(bits, fmt)
-        else:
-            result.values = [FPValue(fmt, int(b)).to_float() for b in bits]
         result.wall_seconds = time.perf_counter() - t0
+        wire = self.tiers.wire_names()
         tier_counts = {
-            TIERS[c]: int(k)
-            for c, k in enumerate(np.bincount(codes, minlength=len(TIERS)))
+            wire[c]: int(k)
+            for c, k in enumerate(np.bincount(codes, minlength=len(wire)))
             if k
         }
         self.metrics.record_batch(

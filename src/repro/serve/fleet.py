@@ -456,6 +456,7 @@ class FleetRouter(BaseProtocolServer):
     async def _op_info(self, obj: dict) -> dict:
         functions: set = set()
         missing: set = set()
+        tables: dict = {}
         rows = await asyncio.gather(
             *(self._worker_op(w, "info") for w in self.workers)
         )
@@ -468,6 +469,7 @@ class FleetRouter(BaseProtocolServer):
                 info = resp.get("info", {})
                 functions.update(info.get("functions", ()))
                 missing.update(info.get("missing", ()))
+                tables.update(info.get("tables", {}))
             elif resp is not None:
                 row["error"] = resp.get("error", "worker info failed")
             workers.append(row)
@@ -479,6 +481,7 @@ class FleetRouter(BaseProtocolServer):
                 "levels": self.family.levels,
                 "functions": sorted(functions),
                 "missing": sorted(missing),
+                "tables": {k: tables[k] for k in sorted(tables)},
                 "fleet": self.shards.describe(),
                 "workers": workers,
             },

@@ -59,6 +59,7 @@ from typing import Any, BinaryIO, Optional, Tuple
 import numpy as np
 
 from .protocol import ProtocolError
+from .tiers import default_tier_registry
 
 #: First bytes of every frame.
 MAGIC = b"RP"
@@ -80,8 +81,11 @@ HEADER = struct.Struct("<2sBBI")
 _META_LEN = struct.Struct("<H")
 
 #: Tier names in wire order; a result's ``uint8`` tier code indexes this.
-TIER_NAMES = ("vector", "scalar", "oracle")
-TIER_CODES = {name: code for code, name in enumerate(TIER_NAMES)}
+#: Derived from the tier registry (:mod:`repro.serve.tiers`), whose wire
+#: codes are append-only — existing codes never move, so old peers keep
+#: decoding new servers' responses by index.
+TIER_NAMES = default_tier_registry().wire_names()
+TIER_CODES = default_tier_registry().wire_codes()
 
 #: Per-element result layout: int64 bits + float64 value + uint8 tier.
 _BYTES_PER_RESULT = 8 + 8 + 1

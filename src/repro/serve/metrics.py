@@ -108,7 +108,13 @@ class ServerMetrics:
 
         ``tiers`` is either a ``{tier_name: count}`` dict (what the
         evaluator passes — one counter bump per tier instead of one per
-        element) or the legacy per-element name sequence.
+        element) or the legacy per-element name sequence.  Tier names
+        are opaque labels: whatever the evaluator's
+        :class:`~repro.serve.tiers.TierRegistry` dispatches (table /
+        vector / scalar / oracle today) is counted — nothing here
+        assumes a fixed tier set, so new tiers show up in
+        ``results_by_tier`` and ``repro_serve_results_total`` without
+        metric changes.
 
         ``n_requests`` is how many client requests the batch answers
         (> 1 when the dispatcher coalesced); each is counted once in

@@ -12,10 +12,15 @@ pipelined and arrive out of order).  Operations:
     ``float.hex`` strings (``"0x1.8p+1"``) for bit-exact requests.
     Response: ``{"id": 1, "ok": true, "fn": ..., "fmt": ..., "level":
     ..., "mode": ..., "bits": [...], "values": [...], "tiers": [...]}``.
+    ``tiers`` names the serving tier per element; the set of names and
+    their binary-protocol codes come from the tier registry
+    (:func:`repro.serve.tiers.default_tier_registry` — table / vector /
+    scalar / oracle today), so a new tier extends responses without a
+    protocol revision.
 
 ``stats``
     Metrics snapshot (counters, batch-size and latency histograms,
-    fallback-tier counts).  ``"/stats"`` is accepted as an alias.
+    per-tier result counts).  ``"/stats"`` is accepted as an alias.
 
 ``metrics``
     Unified observability dump: the response carries the metric
@@ -23,7 +28,9 @@ pipelined and arrive out of order).  Operations:
     exposition format under ``"prometheus"`` (scrape-ready).
 
 ``info``
-    Registry description: family, formats, loaded + missing functions.
+    Registry description: family, formats, loaded + missing functions,
+    and discovered ``.tbl`` table sidecars with their health
+    (``available`` / ``loaded`` / ``stale`` / ``corrupt``).
 
 ``ping``
     Liveness probe.

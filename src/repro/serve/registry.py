@@ -10,6 +10,12 @@ the three runtimes the evaluator dispatches between:
 * the bare :class:`~repro.funcs.base.FunctionPipeline` + mpmath oracle
   (last-resort tier when no artifact exists for a function).
 
+plus the *table* sidecars: dense precomputed ``.tbl`` result tables
+(:mod:`repro.libm.tables`) discovered next to the JSON artifacts and
+memory-mapped lazily on first use — with a CRC integrity check on open,
+quarantine of corrupt files, and fallthrough to the polynomial tiers
+when a table is absent or stale (built from a different artifact).
+
 Pipelines are constructible without artifacts, so a registry never fails
 to build: functions whose artifact file is absent are tracked in
 :attr:`ServingRegistry.missing` and served from the oracle tier.
@@ -21,8 +27,10 @@ from pathlib import Path
 from typing import Dict, Iterable, Optional, Set, Tuple, Union
 
 from ..fp.format import FPFormat
+from ..fp.rounding import RoundingMode
 from ..funcs import FAMILY_CONFIGS, FamilyConfig, make_pipeline
 from ..funcs.base import FunctionPipeline
+from ..libm import tables as tbl
 from ..libm.artifacts import load_generated
 from ..libm.runtime import RlibmProg, RlibmProgFunction
 from ..libm.vectorized import VectorizedFunction
@@ -103,6 +111,14 @@ class ServingRegistry:
         self.kernels: Dict[str, VectorizedFunction] = {}
         self.scalars: Dict[str, RlibmProgFunction] = {}
         self.missing: Set[str] = set()
+        #: ``(fn, level, mode) -> LoadedTable | None`` — lazily opened
+        #: (and validated) on first :meth:`table_for`; None caches a
+        #: definitive miss (absent / stale / quarantined).
+        self._tables: Dict[Tuple[str, int, str], Optional[tbl.LoadedTable]] = {}
+        #: Discovery/health per table key, for :meth:`describe`:
+        #: ``"available" | "loaded" | "stale" | "corrupt"``.
+        self.table_status: Dict[str, str] = {}
+        self._fingerprints: Dict[str, str] = {}
         for name in names:
             pipe = make_pipeline(name, self.family, self.oracle)
             self.pipelines[name] = pipe
@@ -113,6 +129,24 @@ class ServingRegistry:
                 continue
             self.scalars[name] = RlibmProgFunction(pipe, gen)
             self.kernels[name] = VectorizedFunction(pipe, gen)
+        self._discover_tables()
+
+    def _discover_tables(self) -> None:
+        """Cheap header scan of ``.tbl`` sidecars for this family's loaded
+        functions; bodies are mapped lazily on first use."""
+        prefix = f"{self.family.name}_"
+        for path in tbl.iter_table_paths(self.directory):
+            if not path.name.startswith(prefix):
+                continue
+            try:
+                meta = tbl.read_table_meta(path)
+            except tbl.TableError:
+                # Leave structurally broken files for table_for to
+                # quarantine if a request actually lands on them.
+                continue
+            if meta["fn"] in self.scalars:
+                key = f"{meta['fn']}@{meta['format']}/{meta['mode']}"
+                self.table_status[key] = "available"
 
     # ------------------------------------------------------------------
     @property
@@ -146,6 +180,54 @@ class ServingRegistry:
         """Can (fn, fmt) run the batched kernel + vector rounding tier?"""
         return fn in self.kernels and supports_vector_rounding(fmt)
 
+    def _fingerprint(self, fn: str) -> Optional[str]:
+        fp = self._fingerprints.get(fn)
+        if fp is None and fn in self.scalars:
+            try:
+                fp = tbl.artifact_fingerprint(
+                    fn, self.family.name, self.directory
+                )
+            except OSError:  # pragma: no cover - artifact raced away
+                return None
+            self._fingerprints[fn] = fp
+        return fp
+
+    def table_for(
+        self, fn: str, level: int, mode: RoundingMode
+    ) -> Optional[tbl.LoadedTable]:
+        """The mmap'd ``.tbl`` for ``(fn, level, mode)``, or ``None``.
+
+        First call per key does the expensive part — open, CRC-check and
+        map the file, pinned to the loaded artifact's fingerprint — and
+        the verdict is cached for the registry lifetime.  Corrupt or
+        truncated files are quarantined (renamed aside) and the key
+        degrades to the polynomial tiers; stale files (artifact
+        regenerated since the build) degrade without quarantine, since
+        the file itself is intact and a rebuild fixes it.
+        """
+        key = (fn, level, str(mode.value))
+        if key in self._tables:
+            return self._tables[key]
+        table: Optional[tbl.LoadedTable] = None
+        fp = self._fingerprint(fn)
+        if fp is not None:
+            fmt = self.family.formats[level]
+            path = tbl.table_path(
+                fn, self.family.name, fmt, mode, self.directory
+            )
+            skey = f"{fn}@{fmt.display_name}/{mode.value}"
+            if path.exists():
+                try:
+                    table = tbl.open_table(path, expect_fingerprint=fp)
+                    self.table_status[skey] = "loaded"
+                except tbl.TableStale:
+                    self.table_status[skey] = "stale"
+                except tbl.TableError as e:
+                    tbl.quarantine_table(path, str(e))
+                    self.table_status[skey] = "corrupt"
+        self._tables[key] = table
+        return table
+
     # ------------------------------------------------------------------
     def as_library(self) -> RlibmProg:
         """The loaded functions as a plain :class:`RlibmProg` library."""
@@ -162,4 +244,7 @@ class ServingRegistry:
             "levels": self.family.levels,
             "functions": sorted(self.scalars),
             "missing": sorted(self.missing),
+            "tables": {
+                key: status for key, status in sorted(self.table_status.items())
+            },
         }

@@ -26,6 +26,17 @@ def serve_payload(ips=1000.0, speedup=50.0):
     }
 
 
+def serve_table_payload(table_ips=4000.0, vector_ips=2000.0):
+    return {
+        "bench": "serve_table",
+        "tiers": {
+            "table": {"series": [{"batch": 16, "inputs_per_sec": table_ips}]},
+            "vector": {"series": [{"batch": 16, "inputs_per_sec": vector_ips}]},
+        },
+        "summary": {"speedup_table_vs_vector": table_ips / vector_ips},
+    }
+
+
 class TestCompareMetric:
     def test_directions(self):
         # Throughput halved: 50% regression either way you measure it.
@@ -96,6 +107,22 @@ class TestComparePayloads:
             serve_payload(1000.0), serve_payload(5000.0, speedup=400.0)
         )
         assert v["ok"]
+
+    def test_detects_serve_table_and_gates_speedup(self):
+        v = bench_compare.compare_payloads(
+            serve_table_payload(), serve_table_payload()
+        )
+        assert v["kind"] == "serve_table" and v["ok"]
+        # The table tier losing its edge regresses the speedup metric
+        # even when the vector side is unchanged.
+        v = bench_compare.compare_payloads(
+            serve_table_payload(4000.0, 2000.0),
+            serve_table_payload(2400.0, 2000.0),
+            tolerance=0.25,
+        )
+        assert not v["ok"]
+        assert "serve_table.table.batch_16.inputs_per_sec" in v["regressions"]
+        assert "serve_table.speedup_table_vs_vector" in v["regressions"]
 
     def test_metric_missing_from_candidate_fails(self):
         base = serve_payload()

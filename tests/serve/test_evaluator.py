@@ -8,13 +8,11 @@ import pytest
 from repro.fp import IEEE_MODES, RoundingMode, all_finite
 from repro.funcs import TINY_CONFIG
 from repro.libm.runtime import RlibmProg
-from repro.serve import (
-    BatchEvaluator,
-    ServingRegistry,
-    TIER_ORACLE,
-    TIER_SCALAR,
-    TIER_VECTOR,
-)
+from repro.serve import BatchEvaluator, ServingRegistry
+
+# Tier names are plain strings (repro.serve.tiers); the old TIER_*
+# constants are deprecated shims, tested in test_tiers.py.
+TIER_VECTOR, TIER_SCALAR, TIER_ORACLE = "vector", "scalar", "oracle"
 
 
 @pytest.fixture(scope="module")

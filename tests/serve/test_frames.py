@@ -135,10 +135,14 @@ class TestEvalResultRoundtrip:
             encode_eval_result({"id": 1}, [1, 2], [1.0], [0, 0])
 
     def test_tier_code_table_is_stable(self):
-        # The wire meaning of the uint8 codes: changing this order would
-        # silently corrupt every mixed-version fleet.
-        assert TIER_NAMES == ("vector", "scalar", "oracle")
-        assert TIER_CODES == {"vector": 0, "scalar": 1, "oracle": 2}
+        # The wire meaning of the uint8 codes: codes are append-only —
+        # moving an existing one would silently corrupt every
+        # mixed-version fleet.  New tiers must extend, never reorder.
+        assert TIER_NAMES[:3] == ("vector", "scalar", "oracle")
+        assert TIER_NAMES == ("vector", "scalar", "oracle", "table")
+        assert TIER_CODES == {
+            "vector": 0, "scalar": 1, "oracle": 2, "table": 3,
+        }
 
 
 class TestFrameBounds:

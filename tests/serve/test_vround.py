@@ -13,6 +13,7 @@ from repro.libm.vround import (
     decode_bits_to_doubles,
     doubles_in_format,
     round_doubles_to_bits,
+    round_doubles_to_bits_checked,
     supports_vector_rounding,
 )
 
@@ -104,6 +105,27 @@ def test_membership_predicate():
         [1.0 + 2.0**-50, float(fmt.max_value) * 4.0, 5e-324, math.pi]
     )
     assert not doubles_in_format(outsiders, fmt).any()
+
+
+@pytest.mark.parametrize(
+    "fmt", SMALL_FORMATS + WIDE_FORMATS, ids=lambda f: f.display_name
+)
+@pytest.mark.parametrize("mode", ALL_MODES, ids=lambda m: m.value)
+def test_checked_exactness_matches_decode_back(fmt, mode):
+    # The fused exactness mask must agree with the independent
+    # round-trip definition (RTZ-encode, decode, bit-compare) on every
+    # sample, and be mode-independent.
+    rng = np.random.default_rng(987)
+    xs = sample_doubles(fmt, rng)
+    bits, exact = round_doubles_to_bits_checked(xs, fmt, mode)
+    assert np.array_equal(bits, round_doubles_to_bits(xs, fmt, mode))
+    back = decode_bits_to_doubles(
+        round_doubles_to_bits(xs, fmt, RoundingMode.RTZ), fmt
+    )
+    same = back.view(np.int64) == xs.view(np.int64)
+    want = same | (np.isnan(xs) & np.isnan(back))
+    bad = exact != want
+    assert not bad.any(), (fmt, mode, xs[bad][:5])
 
 
 def test_signed_zero_and_nan_canonicalization():

@@ -23,8 +23,9 @@ def test_resolve_family():
 
 def test_facade_reexported_from_root():
     for name in (
-        "api", "evaluate", "generate", "load_library", "make_evaluator",
-        "oracle_session", "resolve_family", "verify",
+        "api", "build_table", "evaluate", "generate", "load_library",
+        "make_evaluator", "oracle_session", "resolve_family", "table_index",
+        "verify",
     ):
         assert hasattr(repro, name), name
     assert repro.evaluate is api.evaluate
@@ -105,6 +106,26 @@ def test_make_evaluator_matches_library():
         for x in xs
     ]
     assert res.bits == want
+
+
+def test_build_table_and_index_facade(tmp_path, oracle):
+    gen, _ = api.generate("log2", "tiny", out_dir=tmp_path, oracle=oracle)
+    path = api.build_table("log2", "tiny", fmt="t8", directory=tmp_path)
+    assert path.exists()
+    rows = api.table_index(tmp_path)
+    assert [r["fn"] for r in rows if "error" not in r] == ["log2"]
+    # The evaluator picks the table up and serves from it.
+    ev = api.make_evaluator("tiny", directory=tmp_path, names=("log2",))
+    res = ev.evaluate("log2", [1.0, 8.0], fmt="t8")
+    assert res.tiers == ["table", "table"]
+    assert list(res.values) == [0.0, 3.0]
+
+
+def test_make_evaluator_custom_tiers():
+    ev = api.make_evaluator(
+        "tiny", names=("exp2",), tiers=("vector", "scalar", "oracle")
+    )
+    assert ev.tiers.names() == ("vector", "scalar", "oracle")
 
 
 def test_artifact_index_lists_shipped_families():

@@ -74,6 +74,40 @@ class TestVerify:
         assert "OK" in out
 
 
+class TestTables:
+    def test_build_then_list(self, artifact_dir):
+        code, out = run_cli(
+            "tables", "build", "--family", "tiny", "--functions", "log2",
+            "--fmt", "t8", "--dir", str(artifact_dir),
+        )
+        assert code == 0
+        assert (artifact_dir / "tiny_log2.t8.rne.tbl").exists()
+        code, out = run_cli("tables", "list", "--dir", str(artifact_dir))
+        assert code == 0
+        assert "log2" in out and "t8" in out and "256" in out
+
+    def test_build_skips_missing_artifacts(self, artifact_dir):
+        # sinpi has no artifact in the fixture dir: skipped, not fatal.
+        code, out = run_cli(
+            "tables", "build", "--family", "tiny",
+            "--functions", "exp2", "sinpi", "--fmt", "t8",
+            "--dir", str(artifact_dir),
+        )
+        assert code == 0
+        assert "skipping sinpi" in out
+
+    def test_list_empty_dir(self, tmp_path):
+        code, out = run_cli("tables", "list", "--dir", str(tmp_path))
+        assert code == 1
+
+    def test_build_wide_format_fails(self, artifact_dir):
+        with pytest.raises(SystemExit):
+            run_cli(
+                "tables", "build", "--family", "tiny", "--functions", "log2",
+                "--fmt", "float32", "--dir", str(artifact_dir),
+            )
+
+
 class TestGenerate:
     def test_generate_one(self, tmp_path):
         code, out = run_cli(
