@@ -52,6 +52,7 @@ from repro.fp import all_finite
 from repro.funcs import TINY_CONFIG
 from repro.mp import FUNCTION_NAMES
 from repro.serve import (
+    DEFAULT_REPLICATION,
     PROTOCOL_NAME,
     AsyncServeClient,
     FleetThread,
@@ -272,7 +273,9 @@ def run_bench(out_path=None, worker_counts=WORKER_COUNTS,
         "family": "tiny",
         "format": TINY_CONFIG.formats[-1].display_name,
         "functions": len(FUNCTION_NAMES),
-        "config": {"protocol": "binary"},
+        # Comparison guard: replication changes per-worker shard sizes
+        # and the failover path, so baselines must match on it.
+        "config": {"protocol": "binary", "replication": DEFAULT_REPLICATION},
         "fleets": fleets,
         "summary": {"best_batch_1024": best_1024},
     }

@@ -257,6 +257,7 @@ def cmd_serve(args) -> int:
     import asyncio
 
     from .serve import (
+        FleetConfig,
         FleetRouter,
         ServeServer,
         ServingRegistry,
@@ -267,6 +268,15 @@ def cmd_serve(args) -> int:
 
     async def run() -> None:
         if args.workers:
+            # Flags override REPRO_FLEET_* env, which overrides defaults.
+            fleet_config = FleetConfig.from_env(
+                start_timeout=args.worker_start_timeout,
+                stop_timeout=args.worker_stop_timeout,
+                breaker_threshold=args.breaker_threshold,
+                breaker_recovery=args.breaker_recovery,
+                probe_interval=args.probe_interval,
+                restart_budget=args.restart_budget,
+            )
             server = FleetRouter(
                 config,
                 args.dir,
@@ -274,23 +284,29 @@ def cmd_serve(args) -> int:
                 args.port,
                 n_workers=args.workers,
                 names=args.functions,
+                replication=(
+                    args.replication if args.replication is not None else 2
+                ),
                 max_batch=args.max_batch,
                 batch_window=args.batch_window_ms / 1000.0,
                 max_pending=args.max_pending,
                 worker_max_inflight=args.max_pending,
                 request_deadline=args.request_deadline,
+                config=fleet_config,
+                supervise=not args.no_supervise,
             )
             await server.start()
             print(
                 f"serving family {config.name!r} on {args.host}:{server.port} "
-                f"(fleet: {args.workers} workers, batch window "
+                f"(fleet: {args.workers} workers, replication "
+                f"{server.shards.replication}, batch window "
                 f"{args.batch_window_ms}ms, max batch {args.max_batch})",
                 flush=True,
             )
             for w in server.workers:
                 print(
-                    f"  worker {w.index} on 127.0.0.1:{w.port} serving "
-                    f"{', '.join(w.names)}",
+                    f"  worker {w.index} pid {w.process.pid} on "
+                    f"127.0.0.1:{w.port} serving {', '.join(w.names)}",
                     flush=True,
                 )
         else:
@@ -557,6 +573,49 @@ def main(argv=None) -> int:
              " shared-nothing evaluator worker processes, each loading"
              " only its consistent-hash (fn, level) shard (0 = single"
              " in-process server, the default)",
+    )
+    s.add_argument(
+        "--replication", type=int, default=None, metavar="R",
+        help="fleet shard replication factor: every (fn, level) key gets"
+             " an ordered [primary, replica...] worker chain and the"
+             " router fails over down the chain (default 2, clamped to"
+             " --workers; 1 disables replication)",
+    )
+    s.add_argument(
+        "--no-supervise", action="store_true",
+        help="disable the fleet supervisor (no respawn of dead/wedged"
+             " workers); chiefly for debugging worker crashes",
+    )
+    s.add_argument(
+        "--restart-budget", type=int, default=None, metavar="K",
+        help="consecutive failed respawns before the supervisor marks a"
+             " worker slot down instead of crash-looping (default"
+             " $REPRO_FLEET_RESTART_BUDGET or 5)",
+    )
+    s.add_argument(
+        "--probe-interval", type=float, default=None, metavar="SEC",
+        help="supervisor tick: how often workers are pid-checked and"
+             " pinged (default $REPRO_FLEET_PROBE_INTERVAL or 0.5)",
+    )
+    s.add_argument(
+        "--worker-start-timeout", type=float, default=None, metavar="SEC",
+        help="how long a spawning worker gets to report its port"
+             " (default $REPRO_FLEET_START_TIMEOUT or 60)",
+    )
+    s.add_argument(
+        "--worker-stop-timeout", type=float, default=None, metavar="SEC",
+        help="SIGTERM-to-SIGKILL escalation deadline when stopping"
+             " workers (default $REPRO_FLEET_STOP_TIMEOUT or 5)",
+    )
+    s.add_argument(
+        "--breaker-threshold", type=int, default=None, metavar="K",
+        help="consecutive link failures tripping a worker's circuit"
+             " breaker (default $REPRO_FLEET_BREAKER_THRESHOLD or 3)",
+    )
+    s.add_argument(
+        "--breaker-recovery", type=float, default=None, metavar="SEC",
+        help="seconds an open worker breaker waits before admitting a"
+             " probe (default $REPRO_FLEET_BREAKER_RECOVERY or 1)",
     )
     add_trace_flag(s)
     s.set_defaults(func=cmd_serve)

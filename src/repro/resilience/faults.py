@@ -36,6 +36,13 @@ Fault sites wired through the codebase:
 ``oracle.error``   serving oracle tier raises (drives the breaker)
 =================  ====================================================
 
+======================  ===============================================
+``fleet.worker.boot``   fleet worker hard-exits during startup, before
+                        it reports a port — every supervised respawn is
+                        a fresh process, so a persistent spec drains
+                        the router's restart budget (the give-up path)
+======================  ===============================================
+
 Counters are per-process: a respawned pool worker starts fresh, which is
 exactly what a chaos test wants (the recovery path, not the fault, must
 converge).

@@ -16,8 +16,13 @@ zero-copy ``binary.v1`` frame protocol (:mod:`repro.serve.frames`) for
 bulk data.  ``serve_fleet`` / :class:`FleetRouter` scale one family
 horizontally: a router consistent-hash-shards ``(fn, level)`` keys
 (:class:`ShardMap`) across shared-nothing evaluator worker processes,
-each loading only its artifact shard, with a per-worker circuit breaker
-and in-flight cap.
+each loading its primary plus replica shards, with a per-worker circuit
+breaker and in-flight cap.  The fleet is self-healing: a supervisor
+respawns dead or wedged workers under a restart budget
+(:class:`FleetConfig` holds every timeout, ``REPRO_FLEET_*``
+overridable), the router fails over down each key's replica chain, and
+deadline budgets propagate so retries never outlive the client's
+original deadline.
 
 See the README's "Serving" section for the wire protocol and topology.
 """
@@ -30,7 +35,13 @@ from .evaluator import (
     OracleUnavailable,
     resolve_mode,
 )
-from .fleet import FleetRouter, FleetThread, start_fleet_thread
+from .fleet import (
+    DEFAULT_REPLICATION,
+    FleetConfig,
+    FleetRouter,
+    FleetThread,
+    start_fleet_thread,
+)
 from .frames import PROTOCOL_NAME, FrameError
 from .hashring import HashRing, ShardMap
 from .metrics import Histogram, ServerMetrics
@@ -55,7 +66,9 @@ __all__ = [
     "DEFAULT_BATCH_WINDOW",
     "DEFAULT_MAX_BATCH",
     "DEFAULT_MAX_PENDING",
+    "DEFAULT_REPLICATION",
     "DEFAULT_REQUEST_DEADLINE",
+    "FleetConfig",
     "FleetRouter",
     "FleetThread",
     "FrameError",

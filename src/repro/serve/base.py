@@ -388,6 +388,7 @@ class BaseProtocolServer:
         op_name = "invalid"
         req_id: Any = None
         trace_ctx: dict = {}
+        deadline = self.request_deadline
         try:
             obj = raw if isinstance(raw, dict) else parse_request(raw)
             req_id = obj.get("id")
@@ -395,6 +396,26 @@ class BaseProtocolServer:
             tctx = obj.get("trace")
             if isinstance(tctx, dict):
                 trace_ctx = tctx
+            # Deadline-budget propagation: a request may carry the
+            # *remaining* budget of its original client deadline (the
+            # fleet router stamps this on every worker hop), and the
+            # effective deadline is never longer than what the caller
+            # has left — a retried or failed-over hop cannot outlive the
+            # budget the client started with.
+            budget = obj.get("budget")
+            if budget is not None:
+                if isinstance(budget, bool) or not isinstance(
+                    budget, (int, float)
+                ):
+                    raise ProtocolError("'budget' must be a number of seconds")
+                if budget <= 0:
+                    # Already out of budget: answer without doing work.
+                    deadline = 0.0
+                    raise asyncio.TimeoutError
+                deadline = min(deadline, float(budget))
+            # Downstream hops (the router's _op_eval) read the absolute
+            # deadline to compute what budget remains to forward.
+            obj["_deadline_at"] = t0 + deadline
             # Probes bypass admission control: health checks must keep
             # answering on an overloaded or draining server.
             if obj["op"] in ("ping", "health"):
@@ -419,11 +440,11 @@ class BaseProtocolServer:
                     # asyncio.timeout, not wait_for: the deadline is on
                     # every request's hot path and wait_for pays for an
                     # extra task wrap per call.
-                    async with asyncio.timeout(self.request_deadline):
+                    async with asyncio.timeout(deadline):
                         response = await self._dispatch(obj)
                 finally:
                     self._inflight -= 1
-                if loop.time() - t0 > self.request_deadline:
+                if loop.time() - t0 > deadline:
                     # A batch blocking the loop can outlive its deadline
                     # without wait_for ever firing; the deadline is part
                     # of the response contract either way (gRPC
@@ -434,7 +455,7 @@ class BaseProtocolServer:
             self.metrics.record_deadline()
             response = error_response(
                 req_id,
-                f"request exceeded the {self.request_deadline}s deadline",
+                f"request exceeded the {deadline}s deadline",
                 code="deadline_exceeded",
             )
         except OracleUnavailable as e:

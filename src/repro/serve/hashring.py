@@ -13,6 +13,15 @@ node clockwise from the key's own hash.  Properties the fleet relies on:
   reshuffle every artifact shard.
 * **Spread** — virtual nodes break up the ring so small fleets still
   get roughly even key counts.
+
+Replicated placement (``replication >= 2``): a key resolves not to one
+worker but to an ordered tuple of *distinct* workers — the clockwise
+walk from the key's hash keeps collecting virtual nodes, skipping
+workers already in the set, until ``replication`` owners are found.
+The first is the key's **primary**, the rest are failover replicas.
+The same walk gives the same stability guarantee per position: removing
+a worker only changes the replica sets it was a member of, and the
+surviving members keep their relative order.
 """
 
 from __future__ import annotations
@@ -61,21 +70,42 @@ class HashRing:
 
     def node_for(self, key: str) -> str:
         """The node owning ``key``."""
+        return self.nodes_for(key, 1)[0]
+
+    def nodes_for(self, key: str, count: int) -> Tuple[str, ...]:
+        """The ``count`` distinct nodes owning ``key``, walk order.
+
+        The clockwise walk from the key's hash, deduplicated: the first
+        node is the key's primary owner, later ones its replicas.  Asks
+        for more distinct nodes than the ring has?  You get them all —
+        a two-worker fleet asked for three replicas still yields two.
+        """
         if not self._points:
             raise ValueError("hash ring is empty")
+        count = min(max(1, int(count)), len(self._nodes))
         h = _hash64(key)
-        idx = bisect.bisect_right(self._points, (h, "￿"))
-        if idx == len(self._points):
-            idx = 0
-        return self._points[idx][1]
+        start = bisect.bisect_right(self._points, (h, "￿"))
+        owners: List[str] = []
+        n_points = len(self._points)
+        for i in range(n_points):
+            node = self._points[(start + i) % n_points][1]
+            if node not in owners:
+                owners.append(node)
+                if len(owners) == count:
+                    break
+        return tuple(owners)
 
 
 class ShardMap:
-    """The fleet's ``(fn, level) -> worker index`` assignment.
+    """The fleet's ``(fn, level) -> [primary, replica...]`` assignment.
 
     Built once at fleet start from the family's function names and level
-    count; the router routes with :meth:`worker_for` and each worker
-    loads only the artifacts :meth:`names_for` assigns it.
+    count; the router routes with :meth:`workers_for` (failing over down
+    the tuple) and each worker loads every artifact
+    :meth:`names_for` assigns it — primary *and* replica shards, so a
+    worker death moves traffic onto processes that already hold the
+    bits (shared-nothing memory cost ≈ ``replication / n_workers`` of
+    the family per worker).
     """
 
     def __init__(
@@ -84,50 +114,97 @@ class ShardMap:
         levels: int,
         n_workers: int,
         replicas: int = 64,
+        replication: int = 2,
     ):
         if n_workers < 1:
             raise ValueError("need at least one worker")
+        if replication < 1:
+            raise ValueError("replication factor must be >= 1")
         self.n_workers = int(n_workers)
         self.levels = int(levels)
+        #: Effective replication: never more copies than workers.
+        self.replication = min(int(replication), self.n_workers)
         self.ring = HashRing(
             (f"worker-{i}" for i in range(self.n_workers)), replicas
         )
-        self._owner: Dict[Tuple[str, int], int] = {}
+        self._owners: Dict[Tuple[str, int], Tuple[int, ...]] = {}
         for fn in names:
             for level in range(levels):
-                node = self.ring.node_for(f"{fn}|{level}")
-                self._owner[(fn, level)] = int(node.rsplit("-", 1)[1])
+                nodes = self.ring.nodes_for(f"{fn}|{level}", self.replication)
+                self._owners[(fn, level)] = tuple(
+                    int(node.rsplit("-", 1)[1]) for node in nodes
+                )
 
     def worker_for(self, fn: str, level: int) -> int:
-        """The worker index owning ``(fn, level)``."""
+        """The primary worker index owning ``(fn, level)``."""
+        return self.workers_for(fn, level)[0]
+
+    def workers_for(self, fn: str, level: int) -> Tuple[int, ...]:
+        """The ordered ``(primary, replica...)`` indices for a key."""
         try:
-            return self._owner[(fn, level)]
+            return self._owners[(fn, level)]
         except KeyError:
             raise KeyError(f"no shard for ({fn!r}, level {level})") from None
 
     def names_for(self, worker: int) -> Tuple[str, ...]:
         """The function names worker ``worker`` must load (sorted).
 
-        A function appears on every worker that owns at least one of its
-        levels; the artifact is per-function, so that is the load unit.
+        A function appears on every worker that owns — as primary *or*
+        replica — at least one of its levels; the artifact is
+        per-function, so that is the load unit.
         """
         return tuple(sorted({
-            fn for (fn, _level), w in self._owner.items() if w == worker
+            fn for (fn, _level), ws in self._owners.items() if worker in ws
         }))
 
     def keys_for(self, worker: int) -> Tuple[Tuple[str, int], ...]:
-        """The exact ``(fn, level)`` keys owned by ``worker`` (sorted)."""
+        """The ``(fn, level)`` keys ``worker`` serves, primary or replica
+        (sorted)."""
         return tuple(sorted(
-            key for key, w in self._owner.items() if w == worker
+            key for key, ws in self._owners.items() if worker in ws
         ))
 
+    def primary_keys_for(self, worker: int) -> Tuple[Tuple[str, int], ...]:
+        """The keys whose *primary* is ``worker`` (sorted)."""
+        return tuple(sorted(
+            key for key, ws in self._owners.items() if ws[0] == worker
+        ))
+
+    def roles_for(self, worker: int) -> Dict[str, str]:
+        """``fn -> "primary" | "replica" | "mixed"`` for one worker.
+
+        A function is ``mixed`` when the worker is primary for some of
+        its levels and replica for others — possible because placement
+        is per ``(fn, level)`` key while loading is per function.
+        """
+        roles: Dict[str, str] = {}
+        for (fn, _level), ws in self._owners.items():
+            if worker not in ws:
+                continue
+            role = "primary" if ws[0] == worker else "replica"
+            have = roles.get(fn)
+            if have is None:
+                roles[fn] = role
+            elif have != role:
+                roles[fn] = "mixed"
+        return roles
+
     def describe(self) -> dict:
-        """JSON-friendly shard map (the fleet ``info`` op body)."""
+        """JSON-friendly shard map (the fleet ``info`` op body).
+
+        ``assignment`` keeps the historical key → primary shape;
+        ``replicas`` carries the full ordered owner lists.
+        """
         return {
             "workers": self.n_workers,
             "levels": self.levels,
+            "replication": self.replication,
             "assignment": {
-                f"{fn}|{level}": w
-                for (fn, level), w in sorted(self._owner.items())
+                f"{fn}|{level}": ws[0]
+                for (fn, level), ws in sorted(self._owners.items())
+            },
+            "replicas": {
+                f"{fn}|{level}": list(ws)
+                for (fn, level), ws in sorted(self._owners.items())
             },
         }

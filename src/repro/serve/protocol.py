@@ -16,7 +16,11 @@ pipelined and arrive out of order).  Operations:
     their binary-protocol codes come from the tier registry
     (:func:`repro.serve.tiers.default_tier_registry` — table / vector /
     scalar / oracle today), so a new tier extends responses without a
-    protocol revision.
+    protocol revision.  An optional ``"budget": <seconds>`` caps the
+    server-side deadline below the server default; a fleet router
+    forwards the *remaining* budget on every worker hop, so a retried
+    or failed-over request can never outlive the client's original
+    deadline.
 
 ``stats``
     Metrics snapshot (counters, batch-size and latency histograms,
@@ -41,8 +45,10 @@ pipelined and arrive out of order).  Operations:
     pending bound, and the oracle-tier circuit breaker state.
 
 Error responses may carry a machine-readable ``code`` (``overloaded``,
-``deadline_exceeded``, ``oracle_unavailable``, ``shutting_down``) so
-clients can branch without parsing messages.
+``deadline_exceeded``, ``oracle_unavailable``, ``shutting_down``,
+``worker_unavailable`` — a fleet shard with no serving worker right
+now, the one code clients may safely retry) so clients can branch
+without parsing messages.
 
 Floats in responses use Python's JSON extension tokens (``NaN``,
 ``Infinity``); the bundled client parses them, and bit patterns are the

@@ -103,10 +103,16 @@ class ServingRegistry:
         directory: Optional[Path] = None,
         names: Iterable[str] = FUNCTION_NAMES,
         oracle: Optional[Oracle] = None,
+        shard_roles: Optional[Dict[str, str]] = None,
     ):
         self.family = resolve_family(family)
         self.directory = directory
         self.oracle = oracle or Oracle()
+        #: ``fn -> "primary" | "replica" | "mixed"`` when this registry
+        #: is one fleet worker's shard; empty for standalone servers.
+        #: Purely descriptive — replicas load and serve identically to
+        #: primaries, which is what makes failover bit-identical.
+        self.shard_roles: Dict[str, str] = dict(shard_roles or {})
         self.pipelines: Dict[str, FunctionPipeline] = {}
         self.kernels: Dict[str, VectorizedFunction] = {}
         self.scalars: Dict[str, RlibmProgFunction] = {}
@@ -238,7 +244,7 @@ class ServingRegistry:
 
     def describe(self) -> dict:
         """The ``info`` op response body."""
-        return {
+        info = {
             "family": self.family.name,
             "formats": [f.display_name for f in self.family.formats],
             "levels": self.family.levels,
@@ -248,3 +254,8 @@ class ServingRegistry:
                 key: status for key, status in sorted(self.table_status.items())
             },
         }
+        if self.shard_roles:
+            info["shard_roles"] = {
+                fn: self.shard_roles[fn] for fn in sorted(self.shard_roles)
+            }
+        return info

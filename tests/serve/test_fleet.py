@@ -50,12 +50,13 @@ class TestShardMap:
                 assert a.worker_for(fn, level) == b.worker_for(fn, level)
         assert a.describe() == b.describe()
 
-    def test_partition_is_exact(self):
-        # keys_for over all workers is a disjoint cover of the key space.
+    def test_primary_partition_is_exact(self):
+        # primary_keys_for over all workers is a disjoint cover of the
+        # key space (replicas ride on top; primaries still partition).
         m = ShardMap(FUNCTION_NAMES, TINY_CONFIG.levels, 3)
         seen = []
         for w in range(3):
-            keys = m.keys_for(w)
+            keys = m.primary_keys_for(w)
             assert all(m.worker_for(fn, level) == w for fn, level in keys)
             seen.extend(keys)
         want = {
@@ -65,6 +66,19 @@ class TestShardMap:
         }
         assert len(seen) == len(want)
         assert set(seen) == want
+
+    def test_keys_for_is_replica_membership(self):
+        # keys_for(w) is exactly the keys whose owner chain contains w,
+        # and every key appears on `replication` distinct workers.
+        m = ShardMap(FUNCTION_NAMES, TINY_CONFIG.levels, 3, replication=2)
+        per_key = {}
+        for w in range(3):
+            for key in m.keys_for(w):
+                per_key.setdefault(key, []).append(w)
+        for (fn, level), members in per_key.items():
+            owners = m.workers_for(fn, level)
+            assert len(owners) == 2
+            assert sorted(members) == sorted(owners)
 
     def test_names_for_covers_owned_levels(self):
         m = ShardMap(FUNCTION_NAMES, TINY_CONFIG.levels, 3)
@@ -84,6 +98,39 @@ class TestShardMap:
     def test_zero_workers_rejected(self):
         with pytest.raises(ValueError):
             ShardMap(FUNCTION_NAMES, TINY_CONFIG.levels, 0)
+
+    def test_zero_replication_rejected(self):
+        with pytest.raises(ValueError):
+            ShardMap(FUNCTION_NAMES, TINY_CONFIG.levels, 2, replication=0)
+
+    def test_replication_clamped_to_worker_count(self):
+        m = ShardMap(FUNCTION_NAMES, TINY_CONFIG.levels, 2, replication=5)
+        assert m.replication == 2
+
+    def test_primary_and_replica_never_colocate(self):
+        # The whole point of a replica is surviving its primary's death:
+        # every key's owner chain must be distinct workers.
+        for n in (2, 3, 5):
+            m = ShardMap(FUNCTION_NAMES, TINY_CONFIG.levels, n, replication=2)
+            for fn in FUNCTION_NAMES:
+                for level in range(TINY_CONFIG.levels):
+                    owners = m.workers_for(fn, level)
+                    assert len(owners) == len(set(owners)) == 2
+
+    def test_roles_cover_loaded_functions(self):
+        m = ShardMap(FUNCTION_NAMES, TINY_CONFIG.levels, 3, replication=2)
+        for w in range(3):
+            roles = m.roles_for(w)
+            assert set(roles) == set(m.names_for(w))
+            assert set(roles.values()) <= {"primary", "replica", "mixed"}
+
+    def test_describe_replicas_consistent_with_assignment(self):
+        m = ShardMap(FUNCTION_NAMES, TINY_CONFIG.levels, 3, replication=2)
+        d = m.describe()
+        assert d["replication"] == 2
+        for key, primary in d["assignment"].items():
+            assert d["replicas"][key][0] == primary
+            assert len(d["replicas"][key]) == 2
 
 
 class TestHashRing:
@@ -116,6 +163,36 @@ class TestHashRing:
     def test_empty_ring_rejected(self):
         with pytest.raises(ValueError):
             HashRing([]).node_for("k")
+
+    def test_replica_sets_are_distinct_and_primary_first(self):
+        ring = HashRing([f"w{i}" for i in range(5)])
+        for i in range(100):
+            owners = ring.nodes_for(f"k{i}", 3)
+            assert len(owners) == len(set(owners)) == 3
+            assert owners[0] == ring.node_for(f"k{i}")
+
+    def test_nodes_for_clamps_to_ring_size(self):
+        ring = HashRing(["a", "b"])
+        assert len(ring.nodes_for("k", 5)) == 2
+
+    def test_removal_only_remaps_removed_nodes_replica_sets(self):
+        # The replicated consistent-hashing contract: removing a worker
+        # leaves every replica set it was NOT a member of untouched, and
+        # survivors in affected sets keep their relative order.
+        keys = [f"k{i}" for i in range(300)]
+        ring = HashRing([f"w{i}" for i in range(5)])
+        before = {k: ring.nodes_for(k, 2) for k in keys}
+        ring.remove("w3")
+        for k, owners in before.items():
+            after = ring.nodes_for(k, 2)
+            if "w3" not in owners:
+                assert after == owners
+            else:
+                assert "w3" not in after
+                survivors = [n for n in owners if n != "w3"]
+                # surviving members keep their relative order and stay
+                # in the set (the walk only ever appends past them)
+                assert [n for n in after if n in survivors] == survivors
 
 
 # ----------------------------------------------------------------------
@@ -199,7 +276,12 @@ def test_killing_one_worker_degrades_only_its_shard():
     # worker mid-service: requests to its shard answer
     # ``worker_unavailable`` and trip *its* breaker; the other shard
     # keeps answering; health drops to ``degraded``, not ``down``.
-    with FleetThread("tiny", n_workers=2, batch_window=0.0) as srv:
+    # replication=1 + supervise=False pins the *unreplicated* fleet's
+    # degradation contract — the self-healing paths have their own suite
+    # (test_selfheal.py).
+    with FleetThread(
+        "tiny", n_workers=2, batch_window=0.0, replication=1, supervise=False
+    ) as srv:
         router = srv.server
         victim, survivor = router.workers
         vfn, vlevel = victim.keys[0]

@@ -1,0 +1,339 @@
+"""Self-healing fleet: supervision, replicated failover, deadline budgets.
+
+The acceptance bar for the self-healing serving fleet:
+
+* **Failover is bit-identical** — the same batch answered by the
+  primary, by a replica after the primary is SIGKILLed, and by the
+  respawned worker afterwards, yields identical bit patterns (replicas
+  load the same artifacts; recovery must never change an answer).
+* **Supervision converges** — a SIGKILLed worker is respawned (jittered
+  backoff, restart budget) and health returns to all-``ok``, with the
+  respawn counted in ``repro_fleet_worker_restarts_total``.
+* **The restart budget is real** — a worker that dies during every boot
+  (the ``fleet.worker.boot`` fault site) exhausts the budget and parks
+  at ``down``; the router keeps answering for everything else instead
+  of crash-looping.
+* **Deadline budgets propagate** — a request-supplied ``budget`` caps
+  the server-side deadline below the server default, and client-side
+  retries never fire for non-idempotent control ops.
+
+Timings here come from :class:`FleetConfig`, compressed to keep the
+chaos drills fast; nothing sleeps for a hardcoded constant longer than
+the poll loops' caps.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    FleetConfig,
+    FleetThread,
+    ServeClient,
+    ServerThread,
+    ServeServer,
+    ServingRegistry,
+)
+from repro.serve.base import RequestError
+
+FN = "exp2"
+
+
+def _fast_config(**overrides) -> FleetConfig:
+    """Chaos-drill timings: everything sub-second, still ordered."""
+    base = dict(
+        probe_interval=0.05,
+        probe_timeout=2.0,
+        breaker_recovery=0.1,
+        restart_backoff=0.05,
+        restart_backoff_max=0.2,
+        start_timeout=30.0,
+        stop_timeout=2.0,
+    )
+    base.update(overrides)
+    return FleetConfig(**base)
+
+
+def _wait(predicate, timeout: float, interval: float = 0.05) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def _primary_and_level(router, fn: str):
+    """The primary worker handle (and a level it owns) for ``fn``."""
+    level = router.family.levels - 1
+    owners = router.shards.workers_for(fn, level)
+    return router.workers[owners[0]], level
+
+
+# ----------------------------------------------------------------------
+# Tentpole: kill → failover (bit-identical) → respawn (bit-identical)
+# ----------------------------------------------------------------------
+def test_failover_and_respawn_are_bit_identical():
+    # One fleet, one victim, three regimes: primary serving, replica
+    # serving after SIGKILL, respawned worker serving after recovery.
+    # All three must answer the same batch with the same bits — and no
+    # request in between may fail (that is what replication buys).
+    xs = np.linspace(-3.0, 3.0, 257)
+    with FleetThread(
+        "tiny", n_workers=2, batch_window=0.0, replication=2,
+        config=_fast_config(),
+    ) as srv:
+        router = srv.server
+        victim, level = _primary_and_level(router, FN)
+        with ServeClient("127.0.0.1", srv.port) as c:
+            before = c.eval(FN, xs, level=level)
+            assert before["ok"]
+
+            victim.process.kill()
+            victim.process.join(10)
+            assert not victim.alive
+
+            # Replica takes over immediately: zero failed requests.
+            during = c.eval(FN, xs, level=level)
+            assert during["ok"], during
+            assert during["bits"] == before["bits"]
+            assert during["tiers"] == before["tiers"]
+            fo = router.fleet_metrics.snapshot()["failovers"]
+            assert fo[str(victim.index)] >= 1
+
+            # The supervisor respawns the victim and health converges
+            # back to every worker ok.
+            def all_ok():
+                h = c.health()
+                return all(w["status"] == "ok" for w in h["workers"])
+
+            assert _wait(all_ok, timeout=15.0), c.health()
+            assert victim.restarts >= 1
+            assert victim.breaker.snapshot()["state"] == "closed"
+
+            after = c.eval(FN, xs, level=level)
+            assert after["ok"]
+            assert after["bits"] == before["bits"]
+            assert after["tiers"] == before["tiers"]
+
+            h = c.health()
+            assert h["status"] == "ok"
+            assert h["replication"] == 2
+            restarts = h["fleet"]["worker_restarts"]
+            assert restarts[str(victim.index)] >= 1
+
+
+def test_unreplicated_fleet_respawns_to_all_ok():
+    # replication=1: no replica can mask the outage, so recovery is
+    # entirely the supervisor's doing — and the respawned worker (a
+    # fresh process, fresh registry load) must answer bit-identically.
+    xs = np.linspace(0.125, 4.0, 129)
+    with FleetThread(
+        "tiny", n_workers=2, batch_window=0.0, replication=1,
+        config=_fast_config(),
+    ) as srv:
+        router = srv.server
+        victim, level = _primary_and_level(router, FN)
+        with ServeClient("127.0.0.1", srv.port) as c:
+            before = c.eval(FN, xs, level=level)
+            assert before["ok"]
+
+            victim.process.kill()
+            victim.process.join(10)
+
+            def all_ok():
+                h = c.health()
+                return all(w["status"] == "ok" for w in h["workers"])
+
+            assert _wait(all_ok, timeout=15.0), c.health()
+            assert victim.restarts >= 1
+            after = c.eval(FN, xs, level=level)
+            assert after["ok"]
+            assert after["bits"] == before["bits"]
+
+
+def test_restart_budget_exhaustion_parks_worker_down():
+    # Every respawn of the victim dies at boot (fault site inherited via
+    # the environment by freshly spawned processes only — the running
+    # fleet started before the spec was set).  The supervisor must burn
+    # its budget and park the slot at ``down``; the rest of the fleet
+    # keeps serving and the router never crash-loops.
+    with FleetThread(
+        "tiny", n_workers=2, batch_window=0.0, replication=1,
+        config=_fast_config(restart_budget=2, start_timeout=10.0),
+    ) as srv:
+        router = srv.server
+        victim, level = _primary_and_level(router, FN)
+        survivor = next(w for w in router.workers if w is not victim)
+        os.environ["REPRO_FAULTS"] = "fleet.worker.boot:p=1"
+        try:
+            victim.process.kill()
+            victim.process.join(10)
+
+            assert _wait(lambda: victim.gave_up, timeout=30.0)
+            assert victim.restarts == 0
+            with ServeClient("127.0.0.1", srv.port) as c:
+                h = c.health()
+                by_worker = {w["worker"]: w for w in h["workers"]}
+                assert by_worker[victim.index]["status"] == "down"
+                assert by_worker[victim.index]["gave_up"]
+                assert h["fleet"]["workers_down"] == 1
+                # The dead shard answers its structured error...
+                resp = c.eval(FN, [1.0], level=level)
+                assert resp["ok"] is False
+                assert resp["code"] == "worker_unavailable"
+                # ...while the surviving shard answers normally.
+                sfn, slevel = survivor.primary_keys[0]
+                assert c.eval(sfn, [1.0], level=slevel)["ok"]
+        finally:
+            os.environ.pop("REPRO_FAULTS", None)
+
+
+# ----------------------------------------------------------------------
+# Deadline budgets
+# ----------------------------------------------------------------------
+def test_budget_caps_single_server_deadline():
+    registry = ServingRegistry("tiny", names=(FN,))
+    with ServerThread(registry, batch_window=0.0) as srv:
+        with ServeClient("127.0.0.1", srv.port) as c:
+            # An ample budget changes nothing.
+            ok = c.eval(FN, [1.0], fmt="t8", budget=30.0)
+            assert ok["ok"]
+            # A sub-microsecond budget is already blown on arrival: the
+            # server answers deadline_exceeded instead of doing work,
+            # even though its own request_deadline is the 30 s default.
+            resp = c.eval(FN, [1.0], fmt="t8", budget=1e-9)
+            assert resp["ok"] is False
+            assert resp["code"] == "deadline_exceeded"
+
+
+def test_budget_rejects_non_numbers():
+    registry = ServingRegistry("tiny", names=(FN,))
+    with ServerThread(registry, batch_window=0.0) as srv:
+        with ServeClient("127.0.0.1", srv.port) as c:
+            resp = c.request(
+                {"op": "eval", "fn": FN, "inputs": [1.0], "fmt": "t8",
+                 "budget": "soon"}
+            )
+            assert resp["ok"] is False
+            assert "budget" in resp["error"]
+
+
+def test_budget_propagates_through_fleet():
+    with FleetThread(
+        "tiny", n_workers=2, batch_window=0.0, config=_fast_config(),
+    ) as srv:
+        with ServeClient("127.0.0.1", srv.port) as c:
+            ok = c.eval(FN, [1.0, 2.0], level=0, budget=30.0)
+            assert ok["ok"]
+            resp = c.eval(FN, [1.0], level=0, budget=1e-9)
+            assert resp["ok"] is False
+            assert resp["code"] == "deadline_exceeded"
+
+
+# ----------------------------------------------------------------------
+# Client-side retries (bounded, eval-only)
+# ----------------------------------------------------------------------
+class _FlakyServer(ServeServer):
+    """Answers ``worker_unavailable`` for the first N evals, and for
+    *every* stats op — counting server-side arrivals of each."""
+
+    def __init__(self, *args, fail_first: int = 2, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.fail_first = fail_first
+        self.eval_calls = 0
+        self.stats_calls = 0
+
+    async def _op_eval(self, obj: dict) -> dict:
+        self.eval_calls += 1
+        if self.eval_calls <= self.fail_first:
+            raise RequestError(
+                "shard momentarily unavailable", code="worker_unavailable"
+            )
+        return await super()._op_eval(obj)
+
+    async def _op_stats(self, obj: dict) -> dict:
+        self.stats_calls += 1
+        raise RequestError(
+            "stats momentarily unavailable", code="worker_unavailable"
+        )
+
+
+class _FlakyThread(ServerThread):
+    def _make_server(self) -> _FlakyServer:
+        return _FlakyServer(self.registry, **self.server_kwargs)
+
+
+@pytest.fixture()
+def flaky():
+    registry = ServingRegistry("tiny", names=(FN,))
+    with _FlakyThread(registry, batch_window=0.0) as srv:
+        yield srv
+
+
+def test_client_retries_eval_until_shard_recovers(flaky):
+    with ServeClient(
+        "127.0.0.1", flaky.port, retries=3, retry_backoff=0.01
+    ) as c:
+        resp = c.eval(FN, [1.0], fmt="t8")
+        assert resp["ok"], resp
+        assert flaky.server.eval_calls == 3  # 2 failures + 1 success
+
+
+def test_client_does_not_retry_by_default(flaky):
+    with ServeClient("127.0.0.1", flaky.port) as c:
+        resp = c.eval(FN, [1.0], fmt="t8")
+        assert resp["ok"] is False
+        assert resp["code"] == "worker_unavailable"
+        assert flaky.server.eval_calls == 1
+
+
+def test_client_never_retries_control_ops(flaky):
+    # The regression this suite pins: retry policy is eval-only.  A
+    # control op answered worker_unavailable must hit the server exactly
+    # once, even on a retrying client.
+    with ServeClient(
+        "127.0.0.1", flaky.port, retries=5, retry_backoff=0.01
+    ) as c:
+        resp = c.request({"op": "stats"})
+        assert resp["ok"] is False
+        assert resp["code"] == "worker_unavailable"
+        assert flaky.server.stats_calls == 1
+
+
+def test_retry_respects_budget_deadline(flaky):
+    # With a blown budget there is no room for any backoff sleep: the
+    # first (failing) answer is returned as-is, with no second arrival.
+    with ServeClient(
+        "127.0.0.1", flaky.port, retries=5, retry_backoff=10.0
+    ) as c:
+        t0 = time.monotonic()
+        resp = c.request(
+            {"op": "eval", "fn": FN, "inputs": [1.0], "fmt": "t8",
+             "budget": 0.5}
+        )
+        elapsed = time.monotonic() - t0
+        assert resp["ok"] is False
+        assert flaky.server.eval_calls == 1
+        assert elapsed < 5.0  # never slept the 10 s backoff
+
+
+def test_async_client_retries_eval(flaky):
+    import asyncio
+
+    from repro.serve import AsyncServeClient
+
+    async def go():
+        client = await AsyncServeClient(
+            "127.0.0.1", flaky.port, retries=3, retry_backoff=0.01
+        ).connect()
+        try:
+            return await client.eval(FN, [1.0], fmt="t8")
+        finally:
+            await client.aclose()
+
+    resp = asyncio.run(go())
+    assert resp["ok"], resp
+    assert flaky.server.eval_calls == 3
