@@ -121,6 +121,7 @@ def generate(
     progress=None,
     checkpoint: Optional[bool] = None,
     resume: bool = False,
+    distributed: Optional[int] = None,
 ) -> GenerateResult:
     """Generate one function's progressive-polynomial artifact.
 
@@ -131,12 +132,36 @@ def generate(
     progress to a ``<family>_<fn>.ckpt.json`` sidecar next to the
     artifact; ``resume=True`` picks a matching sidecar up so a killed
     run continues where it died and produces a byte-identical artifact.
+
+    ``distributed=N`` runs the search through the crash-safe coordinator
+    in :mod:`repro.dist` with ``N`` local worker processes instead of
+    in-process: the run is journaled (a killed coordinator resumes), a
+    re-run with unchanged inputs splices the existing artifact, and the
+    artifact bytes are identical to the in-process path.  Implies
+    ``save``; ``jobs``/``checkpoint``/``resume``/``oracle`` do not apply
+    (workers own their oracles, the journal replaces the checkpoint).
     """
     from .core import generate_function
     from .libm.artifacts import ARTIFACT_DIR
     from .resilience.checkpoint import checkpoint_path_for
 
     config = resolve_family(family)
+    if distributed:
+        from .dist import GenerateSpec, run_distributed
+
+        if config.name not in FAMILY_CONFIGS:
+            raise ValueError(
+                "distributed generation needs a registered family, "
+                f"not ad-hoc config {config.name!r}"
+            )
+        directory = Path(out_dir or ARTIFACT_DIR)
+        spec = GenerateSpec(
+            config.name, [fn],
+            params={"max_terms": max_terms, "seed": seed},
+        )
+        paths = run_distributed(spec, directory, workers=int(distributed))
+        gen = load_generated(fn, config.name, directory)
+        return GenerateResult(gen, paths[fn])
     pipe = make_pipeline(fn, config, oracle)
     if checkpoint is None:
         checkpoint = save

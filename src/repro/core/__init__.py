@@ -14,10 +14,14 @@ from .search import (
     GenerationError,
     GenerationStats,
     Piece,
+    PieceUnitResult,
+    assemble_function,
     collect_constraints,
     evaluate_generated,
     generate_function,
+    piece_rng,
     runtime_interval_failures,
+    search_piece_unit,
 )
 
 __all__ = [
@@ -28,17 +32,21 @@ __all__ = [
     "GenerationError",
     "GenerationStats",
     "Piece",
+    "PieceUnitResult",
     "PolyShape",
     "ProgressivePolynomial",
     "ReducedConstraint",
     "WeightState",
+    "assemble_function",
     "collect_constraints",
     "default_sample_size",
     "evaluate_generated",
     "eval_double_horner",
     "eval_exact",
     "generate_function",
+    "piece_rng",
     "runtime_interval_failures",
+    "search_piece_unit",
     "solve_constraints",
     "weighted_sample_indices",
 ]

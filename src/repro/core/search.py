@@ -101,6 +101,19 @@ class GenerationError(RuntimeError):
     """The search exhausted its term/sub-domain/special-case budget."""
 
 
+def piece_rng(seed: int, nsplits: int, piece_index: int) -> np.random.Generator:
+    """The RNG for one ``(nsplits, piece_index)`` work unit.
+
+    Every sub-domain piece draws from its own generator, seeded from the
+    triple rather than threaded sequentially through the search.  That
+    makes each piece an independent, idempotent unit: it can be searched
+    in any order, on any host, any number of times, and always produces
+    the same polynomial — the property the distributed coordinator's
+    lease/retry machinery and the checkpoint-resume path both build on.
+    """
+    return np.random.default_rng([int(seed), int(nsplits), int(piece_index)])
+
+
 def collect_constraints(
     pipeline: "FunctionPipeline",
     inputs_per_level: Optional[Sequence[Sequence]] = None,
@@ -176,10 +189,11 @@ def generate_function(
 
     ``checkpoint_path`` enables per-piece progress checkpointing to a
     sidecar JSON; with ``resume=True`` a matching sidecar restores the
-    completed pieces, the RNG state and the search counters, so a killed
-    run continues from where it died and produces an artifact
-    byte-identical to an uninterrupted one.  The sidecar is deleted on
-    success.
+    completed pieces and the search counters, so a killed run continues
+    from where it died and produces an artifact byte-identical to an
+    uninterrupted one (each piece's RNG derives from
+    ``(seed, nsplits, piece_index)``, so no generator state is saved).
+    The sidecar is deleted on success.
     """
     with obs_span(
         "search.generate",
@@ -233,7 +247,6 @@ def _generate_function(
         pipeline, inputs_per_level, progress, jobs=jobs, timings=timings
     )
     stats.constraints = len(constraints)
-    rng = np.random.default_rng(seed)
     power_cache: dict = {}
 
     ckpt_params = None
@@ -259,10 +272,9 @@ def _generate_function(
             nsplits = ckpt.nsplits
             resumed_pieces = [piece_from_dict(pd) for pd in ckpt.pieces]
             resumed_failures = list(ckpt.failure_counts)
-            # The saved RNG state encodes every draw up to (and
-            # including) the last completed piece — restoring it makes
-            # the continuation follow the uninterrupted run bit for bit.
-            rng.bit_generator.state = ckpt.rng_state
+            # Each remaining piece derives its RNG from (seed, nsplits,
+            # index), so the continuation follows the uninterrupted run
+            # bit for bit with no saved generator state.
             stats.clarkson_iterations = ckpt.stats.get("clarkson_iterations", 0)
             stats.lp_solves = ckpt.stats.get("lp_solves", 0)
             stats.configs_tried = ckpt.stats.get("configs_tried", 0)
@@ -288,19 +300,25 @@ def _generate_function(
                 constraints=len(piece_cons),
             ) as psp:
                 result = _search_piece(
-                    pipeline, piece_cons, max_terms, max_iterations, rng,
-                    stats, max_specials, power_cache, timings,
+                    pipeline, piece_cons, max_terms, max_iterations,
+                    piece_rng(seed, nsplits, pi), stats, max_specials,
+                    power_cache, timings,
                 )
                 psp.set(satisfiable=result is not None)
             if result is None:
+                # Keep searching the remaining pieces of this round: the
+                # distributed coordinator runs every unit of a round
+                # regardless of sibling failures (it cannot see them in
+                # time), so the single-host loop must accumulate the same
+                # search counters for the final artifact to be identical.
                 ok = False
-                break
+                continue
             poly, failures = result
             piece_failures.append(len(failures))
             pieces.append(
                 Piece(poly, bounds[pi] if pi < nsplits - 1 else None)
             )
-            if checkpoint_path is not None:
+            if checkpoint_path is not None and ok:
                 save_checkpoint(
                     checkpoint_path,
                     SearchCheckpoint(
@@ -308,7 +326,6 @@ def _generate_function(
                         nsplits=nsplits,
                         pieces=[piece_to_dict(p) for p in pieces],
                         failure_counts=list(piece_failures),
-                        rng_state=rng.bit_generator.state,
                         stats={
                             "clarkson_iterations": stats.clarkson_iterations,
                             "lp_solves": stats.lp_solves,
@@ -591,6 +608,131 @@ def _check_one(
         good = iv.contains(Fraction(y))
     if not good:
         bad.append((level, xd))
+
+
+# ----------------------------------------------------------------------
+# Work-unit decomposition (distributed generation)
+# ----------------------------------------------------------------------
+@dataclass
+class PieceUnitResult:
+    """Outcome of one idempotent ``(nsplits, piece_index)`` search unit.
+
+    Everything in here is JSON-serializable so workers can ship it over
+    the wire; ``piece`` is the artifact piece dict (or None when the
+    sub-domain is unsatisfiable at the term budget) and ``stats`` holds
+    the unit's deterministic counter deltas, which the coordinator sums
+    — addition is commutative, so completion order does not matter.
+    """
+
+    nsplits: int
+    piece_index: int
+    piece: Optional[dict]
+    failure_count: int
+    stats: Dict[str, int]
+
+
+def search_piece_unit(
+    pipeline: "FunctionPipeline",
+    constraints: Sequence[ReducedConstraint],
+    nsplits: int,
+    piece_index: int,
+    *,
+    max_terms: int = 8,
+    max_iterations: int = 48,
+    max_specials: int = 4,
+    seed: int = 0,
+    power_cache: Optional[dict] = None,
+    timings=None,
+) -> PieceUnitResult:
+    """Search one sub-domain piece as a self-contained work unit.
+
+    Deterministic in its arguments: the piece draws from
+    ``piece_rng(seed, nsplits, piece_index)``, so re-running the unit —
+    on another host, after a lease expiry, or twice concurrently —
+    yields byte-identical results.  The full constraint set is split
+    locally (``_split_by_r`` is deterministic), so workers only need the
+    shared constraint sweep, not any sibling piece's outcome.
+    """
+    from ..libm.artifacts import piece_to_dict
+
+    if not 0 <= piece_index < nsplits:
+        raise ValueError(f"piece_index {piece_index} not in [0, {nsplits})")
+    buckets, bounds = _split_by_r(constraints, nsplits)
+    stats = GenerationStats()
+    with obs_span(
+        "search.piece", fn=pipeline.name, piece=piece_index, nsplits=nsplits,
+        constraints=len(buckets[piece_index]),
+    ) as psp:
+        result = _search_piece(
+            pipeline, buckets[piece_index], max_terms, max_iterations,
+            piece_rng(seed, nsplits, piece_index), stats, max_specials,
+            power_cache, timings,
+        )
+        psp.set(satisfiable=result is not None)
+    piece_dict = None
+    failure_count = 0
+    if result is not None:
+        poly, failures = result
+        failure_count = len(failures)
+        piece_dict = piece_to_dict(
+            Piece(poly, bounds[piece_index] if piece_index < nsplits - 1 else None)
+        )
+    return PieceUnitResult(
+        nsplits=nsplits,
+        piece_index=piece_index,
+        piece=piece_dict,
+        failure_count=failure_count,
+        stats={
+            "clarkson_iterations": stats.clarkson_iterations,
+            "lp_solves": stats.lp_solves,
+            "configs_tried": stats.configs_tried,
+        },
+    )
+
+
+def assemble_function(
+    pipeline: "FunctionPipeline",
+    constraints: Sequence[ReducedConstraint],
+    forced_specials: Dict[Tuple[int, float], float],
+    unit_results: Sequence[PieceUnitResult],
+    stats: GenerationStats,
+    max_specials: int = 4,
+) -> GeneratedFunction:
+    """Assemble one round's piece units into a finished artifact.
+
+    Raises :class:`GenerationError` when any piece was unsatisfiable,
+    the Clarkson failure counts blow the round's special-case budget, or
+    the runtime re-verification finds too many interval escapes — the
+    same accept/reject rule as the in-process search loop, so a
+    distributed round succeeds exactly when the single-host round would.
+    """
+    units = sorted(unit_results, key=lambda u: u.piece_index)
+    nsplits = units[0].nsplits if units else 1
+    if len(units) != nsplits or any(u.nsplits != nsplits for u in units):
+        raise ValueError(
+            f"need exactly one unit per piece of the {nsplits}-split round"
+        )
+    budget = max_specials * nsplits
+    if any(u.piece is None for u in units):
+        raise GenerationError(
+            f"{pipeline.name}: unsatisfiable sub-domain at {nsplits} splits"
+        )
+    if sum(u.failure_count for u in units) > budget:
+        raise GenerationError(
+            f"{pipeline.name}: Clarkson failures exceed the special-case "
+            f"budget {budget} at {nsplits} splits"
+        )
+    from ..libm.artifacts import piece_from_dict
+
+    gen = GeneratedFunction(
+        pipeline.name,
+        pipeline.family.name,
+        [piece_from_dict(u.piece) for u in units],
+        dict(forced_specials),
+        stats,
+    )
+    _absorb_runtime_failures(pipeline, gen, constraints, budget)
+    return gen
 
 
 def evaluate_generated(

@@ -1,0 +1,63 @@
+"""Crash-safe distributed generation.
+
+The generation search decomposes into idempotent work units
+(:mod:`repro.dist.units`); a lease-based coordinator
+(:mod:`repro.dist.coordinator`) grants them to elastic workers
+(:mod:`repro.dist.worker`) and journals every scheduling transition to a
+write-ahead log (:mod:`repro.dist.journal`), so a killed coordinator or
+worker never loses or double-counts a unit and the final artifact is
+byte-identical to a single-host ``repro generate``.  Incremental
+regeneration (the ``dist-manifest.json`` next to the artifacts) re-runs
+only functions whose inputs changed.  :mod:`repro.dist.driver` wires
+coordinator + worker fleet behind one call.
+"""
+
+from .coordinator import JOURNAL_NAME, DistCoordinator
+from .driver import CoordinatorThread, run_distributed, spawn_worker
+from .journal import Journal, JournalError, ReplayResult, encode_record, replay_journal
+from .leases import DEFAULT_LEASE_TTL, DEFAULT_MAX_ATTEMPTS, Lease, LeaseManager
+from .units import (
+    DEFAULT_PARAMS,
+    GENERATION_FORMAT_VERSION,
+    MANIFEST_NAME,
+    GenerateSpec,
+    assemble_unit_id,
+    fn_inputs_hash,
+    incremental_hit,
+    load_manifest,
+    manifest_path,
+    parse_unit_id,
+    piece_unit_id,
+    update_manifest,
+)
+from .worker import DistWorker
+
+__all__ = [
+    "DEFAULT_LEASE_TTL",
+    "DEFAULT_MAX_ATTEMPTS",
+    "DEFAULT_PARAMS",
+    "GENERATION_FORMAT_VERSION",
+    "JOURNAL_NAME",
+    "MANIFEST_NAME",
+    "CoordinatorThread",
+    "DistCoordinator",
+    "DistWorker",
+    "GenerateSpec",
+    "Journal",
+    "JournalError",
+    "Lease",
+    "LeaseManager",
+    "ReplayResult",
+    "assemble_unit_id",
+    "encode_record",
+    "fn_inputs_hash",
+    "incremental_hit",
+    "load_manifest",
+    "manifest_path",
+    "parse_unit_id",
+    "piece_unit_id",
+    "replay_journal",
+    "run_distributed",
+    "spawn_worker",
+    "update_manifest",
+]

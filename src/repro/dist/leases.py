@@ -1,0 +1,196 @@
+"""Lease bookkeeping for distributed work units.
+
+Pure in-memory logic with an injected clock — no sockets, no I/O — so
+its invariants are directly property-testable:
+
+* a unit is leased to at most one worker while its lease is live
+  (``grant`` never hands out a leased, done, or parked unit);
+* an expired lease puts its unit back in the pending queue exactly once
+  (the sweep that notices the expiry is the only reassignment);
+* a unit whose attempts (grants that ended in failure or expiry) exhaust
+  ``max_attempts`` is *parked* — it poisoned enough workers that trying
+  again is worse than surfacing it — and is never granted again;
+* completions are idempotent: the first one wins, duplicates (a worker
+  finishing after its lease expired and the unit was re-run elsewhere)
+  are counted and discarded.  Work units are deterministic, so either
+  copy of the result is the correct one.
+
+The coordinator journals every transition *before* applying it here; on
+restart it replays the journal through a fresh manager, so leases
+themselves are deliberately volatile (a restarted coordinator forgets
+grants — the worker's next heartbeat or completion re-synchronizes).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Set, Tuple
+
+DEFAULT_LEASE_TTL = 10.0
+DEFAULT_MAX_ATTEMPTS = 3
+
+
+@dataclass
+class Lease:
+    """One live grant of a unit to a worker."""
+
+    unit_id: str
+    worker: str
+    attempt: int
+    expires_at: float
+
+
+class LeaseManager:
+    """Grant/renew/expire/complete state machine over a unit queue."""
+
+    def __init__(
+        self,
+        *,
+        ttl: float = DEFAULT_LEASE_TTL,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        now: Callable[[], float] = time.monotonic,
+    ):
+        if ttl <= 0:
+            raise ValueError(f"lease ttl must be positive, not {ttl}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, not {max_attempts}")
+        self.ttl = ttl
+        self.max_attempts = max_attempts
+        self._now = now
+        self._pending: Deque[str] = deque()
+        self._pending_set: Set[str] = set()
+        self._leased: "OrderedDict[str, Lease]" = OrderedDict()
+        self._done: Set[str] = set()
+        self._parked: Dict[str, str] = {}  # unit -> reason
+        self._attempts: Dict[str, int] = {}
+        self.duplicate_completions = 0
+
+    # -- introspection -------------------------------------------------
+    @property
+    def pending(self) -> Tuple[str, ...]:
+        return tuple(self._pending)
+
+    @property
+    def leased(self) -> Dict[str, Lease]:
+        return dict(self._leased)
+
+    @property
+    def done(self) -> Set[str]:
+        return set(self._done)
+
+    @property
+    def parked(self) -> Dict[str, str]:
+        return dict(self._parked)
+
+    def attempts(self, unit_id: str) -> int:
+        return self._attempts.get(unit_id, 0)
+
+    def outstanding(self) -> int:
+        """Units not yet done or parked."""
+        return len(self._pending) + len(self._leased)
+
+    # -- transitions ---------------------------------------------------
+    def add_units(self, unit_ids: Iterable[str]) -> None:
+        """Queue new units (ignores ids already known in any state)."""
+        for uid in unit_ids:
+            if (
+                uid in self._pending_set
+                or uid in self._leased
+                or uid in self._done
+                or uid in self._parked
+            ):
+                continue
+            self._pending.append(uid)
+            self._pending_set.add(uid)
+
+    def grant(self, worker: str) -> Optional[Lease]:
+        """Lease the next pending unit to ``worker`` (None when empty)."""
+        if not self._pending:
+            return None
+        uid = self._pending.popleft()
+        self._pending_set.discard(uid)
+        attempt = self._attempts.get(uid, 0) + 1
+        self._attempts[uid] = attempt
+        lease = Lease(uid, worker, attempt, self._now() + self.ttl)
+        self._leased[uid] = lease
+        return lease
+
+    def renew(self, unit_id: str, worker: str) -> bool:
+        """Heartbeat: extend the lease if this worker still holds it."""
+        lease = self._leased.get(unit_id)
+        if lease is None or lease.worker != worker:
+            return False
+        lease.expires_at = self._now() + self.ttl
+        return True
+
+    def complete(self, unit_id: str) -> bool:
+        """Mark a unit done; True when this is the first completion.
+
+        Accepted regardless of lease state: a worker may legitimately
+        finish after the coordinator restarted (its grant was forgotten)
+        or after its lease expired — the unit is deterministic, so the
+        result is correct either way.
+        """
+        if unit_id in self._done:
+            self.duplicate_completions += 1
+            return False
+        self._done.add(unit_id)
+        self._leased.pop(unit_id, None)
+        if unit_id in self._pending_set:
+            self._pending.remove(unit_id)
+            self._pending_set.discard(unit_id)
+        self._parked.pop(unit_id, None)
+        return True
+
+    def fail(self, unit_id: str, worker: str, reason: str) -> Optional[str]:
+        """A worker reported failure on its leased unit.
+
+        Returns ``"retry"`` (requeued), ``"parked"`` (attempt budget
+        exhausted), or None when the report is stale (not this worker's
+        live lease, or the unit already completed elsewhere).
+        """
+        lease = self._leased.get(unit_id)
+        if lease is None or lease.worker != worker or unit_id in self._done:
+            return None
+        del self._leased[unit_id]
+        return self._requeue_or_park(unit_id, reason)
+
+    def expire(self) -> List[Tuple[str, str, str]]:
+        """Sweep expired leases; returns ``(unit, worker, outcome)``.
+
+        Each expired lease is either requeued (outcome ``"retry"``) or
+        parked (``"parked"``) — exactly one of the two, exactly once.
+        """
+        now = self._now()
+        out: List[Tuple[str, str, str]] = []
+        for uid in [u for u, l in self._leased.items() if l.expires_at <= now]:
+            lease = self._leased.pop(uid)
+            outcome = self._requeue_or_park(uid, "lease expired")
+            out.append((uid, lease.worker, outcome))
+        return out
+
+    def record_failed_attempt(self, unit_id: str) -> None:
+        """Journal replay: count one historical failed/expired attempt so
+        the park-after-budget rule survives a coordinator restart."""
+        self._attempts[unit_id] = self._attempts.get(unit_id, 0) + 1
+
+    def park(self, unit_id: str, reason: str) -> None:
+        """Forcibly park a unit (journal replay of a recorded park)."""
+        self._leased.pop(unit_id, None)
+        if unit_id in self._pending_set:
+            self._pending.remove(unit_id)
+            self._pending_set.discard(unit_id)
+        if unit_id not in self._done:
+            self._parked[unit_id] = reason
+
+    def _requeue_or_park(self, unit_id: str, reason: str) -> str:
+        if self._attempts.get(unit_id, 0) >= self.max_attempts:
+            self._parked[unit_id] = (
+                f"{reason} (attempt budget {self.max_attempts} exhausted)"
+            )
+            return "parked"
+        self._pending.append(unit_id)
+        self._pending_set.add(unit_id)
+        return "retry"

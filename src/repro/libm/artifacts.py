@@ -94,12 +94,15 @@ def _parse_fraction(s: str) -> Fraction:
 
 
 def save_generated(gen: GeneratedFunction, directory: Optional[Path] = None) -> Path:
-    """Write <family>_<name>.json under the artifact directory."""
+    """Durably write <family>_<name>.json under the artifact directory."""
+    from ..resilience.checkpoint import atomic_write_bytes
+
     directory = Path(directory or ARTIFACT_DIR)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"{gen.family_name}_{gen.name}.json"
-    with open(path, "w") as f:
-        json.dump(generated_to_dict(gen), f, indent=1)
+    atomic_write_bytes(
+        path, json.dumps(generated_to_dict(gen), indent=1).encode()
+    )
     return path
 
 

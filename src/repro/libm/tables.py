@@ -56,6 +56,7 @@ import numpy as np
 
 from ..fp.format import FPFormat
 from ..fp.rounding import RoundingMode
+from ..resilience.checkpoint import fsync_dir
 from .artifacts import ARTIFACT_DIR, load_generated
 from .vectorized import VectorizedFunction
 from .vround import (
@@ -272,6 +273,7 @@ def quarantine_table(path: Union[str, Path], reason: str) -> Path:
         os.replace(path, target)
     except OSError:  # pragma: no cover - racing quarantines / ro media
         return path
+    fsync_dir(path.parent)
     import logging
 
     logging.getLogger(__name__).warning(
@@ -347,6 +349,7 @@ def write_table(path: Union[str, Path], meta: dict, bits: np.ndarray) -> Path:
         f.flush()
         os.fsync(f.fileno())
     os.replace(tmp, path)
+    fsync_dir(path.parent)
     return path
 
 

@@ -41,6 +41,7 @@ from multiprocessing import TimeoutError as MPTimeoutError
 from multiprocessing import get_all_start_methods, get_context
 from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
+from ..envcfg import env_float, env_int, env_str
 from ..fp.encode import FPValue
 from ..fp.enumerate import all_finite
 from ..fp.rounding import RoundingMode
@@ -90,26 +91,10 @@ def start_method() -> str:
     failure (or was silently ignored).
     """
     methods = get_all_start_methods()
-    want = os.environ.get("REPRO_MP_START")
-    if want:
-        if want not in methods:
-            raise ValueError(
-                f"REPRO_MP_START={want!r} is not a supported multiprocessing"
-                f" start method on this platform; choose from {sorted(methods)}"
-            )
-        return want
-    return "fork" if "fork" in methods else "spawn"
-
-
-def _env_float(name: str, default: float) -> float:
-    raw = os.environ.get(name)
-    if not raw:
-        return default
-    try:
-        return float(raw)
-    except ValueError:
-        logger.warning("ignoring non-numeric %s=%r", name, raw)
-        return default
+    default = "fork" if "fork" in methods else "spawn"
+    return env_str(
+        "REPRO_MP_START", default, choices=methods, on_error="raise"
+    )
 
 
 def _chunks(bits: Sequence[int], size: int) -> List[List[int]]:
@@ -190,9 +175,13 @@ def run_chunks(
     bit-identical to the serial sweep regardless of what failed.
     """
     ctx = get_context(start_method())
-    timeout = _env_float("REPRO_CHUNK_TIMEOUT", DEFAULT_CHUNK_TIMEOUT)
-    retries = int(_env_float("REPRO_CHUNK_RETRIES", DEFAULT_CHUNK_RETRIES))
-    backoff = _env_float("REPRO_RETRY_BACKOFF", DEFAULT_RETRY_BACKOFF)
+    timeout = env_float(
+        "REPRO_CHUNK_TIMEOUT", DEFAULT_CHUNK_TIMEOUT, minimum=0.001
+    )
+    retries = env_int("REPRO_CHUNK_RETRIES", DEFAULT_CHUNK_RETRIES, minimum=0)
+    backoff = env_float(
+        "REPRO_RETRY_BACKOFF", DEFAULT_RETRY_BACKOFF, minimum=0.0
+    )
     registry = get_registry()
     retries_total = registry.counter(
         "repro_pool_retries_total",

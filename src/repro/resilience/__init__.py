@@ -20,8 +20,11 @@ through its recovery paths:
 from .breaker import CircuitBreaker
 from .checkpoint import (
     SearchCheckpoint,
+    atomic_write_bytes,
+    atomic_write_json,
     checkpoint_path_for,
     delete_checkpoint,
+    fsync_dir,
     load_checkpoint,
     save_checkpoint,
 )
@@ -44,9 +47,12 @@ __all__ = [
     "InjectedFault",
     "SearchCheckpoint",
     "active_injector",
+    "atomic_write_bytes",
+    "atomic_write_json",
     "checkpoint_path_for",
     "corrupt_file",
     "delete_checkpoint",
+    "fsync_dir",
     "load_checkpoint",
     "maybe_crash",
     "maybe_fire",

@@ -3,19 +3,21 @@
 ``generate_function`` writes a checkpoint after every completed
 sub-domain piece; a killed run restarted with ``resume=True`` (the CLI's
 ``--resume``) skips the pieces it already solved and continues the
-search from the exact point it died — including the numpy RNG state and
-the deterministic search counters — so the resumed artifact is
-byte-identical to an uninterrupted run.
+search from the exact point it died — including the deterministic search
+counters — so the resumed artifact is byte-identical to an uninterrupted
+run.  Each piece derives its RNG independently from
+``(seed, nsplits, piece_index)`` (see :func:`repro.core.search.piece_rng`),
+so no bit-generator state needs to survive the crash; version 1 sidecars
+(which carried ``rng_state``) are ignored and the search starts over.
 
 Layout of ``<family>_<fn>.ckpt.json``::
 
     {
-      "version": 1,
+      "version": 2,
       "params":  {...}          # search identity: fn/family/seed/budgets
       "nsplits": 2,             # sub-domain attempt in progress
       "pieces":  [{...}, ...],  # completed pieces (artifact piece format)
       "failure_counts": [0, 1], # per completed piece
-      "rng_state": {...},       # numpy bit-generator state
       "stats": {...}            # deterministic counters so far
     }
 
@@ -38,7 +40,7 @@ from typing import Dict, List, Optional, Union
 
 logger = logging.getLogger("repro.resilience")
 
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
 
 
 @dataclass
@@ -49,7 +51,6 @@ class SearchCheckpoint:
     nsplits: int = 1
     pieces: List[dict] = field(default_factory=list)
     failure_counts: List[int] = field(default_factory=list)
-    rng_state: Optional[dict] = None
     stats: Dict[str, int] = field(default_factory=dict)
 
 
@@ -59,8 +60,49 @@ def checkpoint_path_for(artifact_path: Union[str, Path]) -> Path:
     return p.with_name(p.stem + ".ckpt.json")
 
 
+def fsync_dir(directory: Union[str, Path]) -> None:
+    """fsync a directory so a just-renamed entry survives a crash.
+
+    ``fsync`` on the *file* makes its bytes durable, but the rename that
+    published it lives in the parent directory's data — on POSIX a crash
+    right after ``os.replace`` can roll the directory back and lose the
+    entry even though the inode was synced.  Directories cannot be
+    opened for reading on some platforms (Windows raises); failure to
+    fsync is a durability loss, never a correctness one, so errors are
+    swallowed and the call is a no-op there.
+    """
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
+    """Durably publish ``data`` at ``path``: tmp + fsync + rename + dir fsync."""
+    path = Path(path)
+    tmp = path.with_name(path.name + f".tmp-{os.getpid()}")
+    with open(tmp, "wb") as f:
+        f.write(data)
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
+    fsync_dir(path.parent)
+
+
+def atomic_write_json(path: Union[str, Path], obj: object, **dump_kwargs) -> None:
+    """Durably publish one JSON document (see :func:`atomic_write_bytes`)."""
+    atomic_write_bytes(path, json.dumps(obj, **dump_kwargs).encode())
+
+
 def save_checkpoint(path: Union[str, Path], ckpt: SearchCheckpoint) -> None:
-    """Atomically write one checkpoint (temp file + rename)."""
+    """Atomically + durably write one checkpoint (temp file + rename +
+    parent-directory fsync)."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     data = {
@@ -69,15 +111,9 @@ def save_checkpoint(path: Union[str, Path], ckpt: SearchCheckpoint) -> None:
         "nsplits": ckpt.nsplits,
         "pieces": ckpt.pieces,
         "failure_counts": ckpt.failure_counts,
-        "rng_state": ckpt.rng_state,
         "stats": ckpt.stats,
     }
-    tmp = path.with_name(path.name + ".tmp")
-    with open(tmp, "w") as f:
-        json.dump(data, f)
-        f.flush()
-        os.fsync(f.fileno())
-    os.replace(tmp, path)
+    atomic_write_json(path, data)
 
 
 def load_checkpoint(
@@ -106,7 +142,6 @@ def load_checkpoint(
             nsplits=int(data["nsplits"]),
             pieces=list(data["pieces"]),
             failure_counts=[int(n) for n in data["failure_counts"]],
-            rng_state=data.get("rng_state"),
             stats=dict(data.get("stats", {})),
         )
     except (OSError, ValueError, KeyError, TypeError) as e:
@@ -118,7 +153,7 @@ def load_checkpoint(
             "(checkpoint %r vs run %r)", path, ckpt.params, params,
         )
         return None
-    if len(ckpt.pieces) != len(ckpt.failure_counts) or ckpt.rng_state is None:
+    if len(ckpt.pieces) != len(ckpt.failure_counts):
         logger.warning("ignoring inconsistent checkpoint %s", path)
         return None
     return ckpt

@@ -43,6 +43,18 @@ Fault sites wired through the codebase:
                         the router's restart budget (the give-up path)
 ======================  ===============================================
 
+===========================  ==========================================
+``dist.worker.crash``        generation worker hard-exits mid-lease
+                             (the coordinator's sweep must requeue)
+``dist.worker.slow``         generation worker stalls on a unit past
+                             its lease TTL (tests expiry + duplicate-
+                             completion handling)
+``dist.lease.expire``        coordinator sweep treats every live lease
+                             as expired (mass-reassignment drill)
+``dist.journal.torn-write``  coordinator journal append writes half a
+                             frame and dies (torn-tail repair drill)
+===========================  ==========================================
+
 Counters are per-process: a respawned pool worker starts fresh, which is
 exactly what a chaos test wants (the recovery path, not the fault, must
 converge).

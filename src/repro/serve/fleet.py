@@ -140,20 +140,21 @@ class FleetConfig:
 
     @classmethod
     def from_env(cls, **overrides) -> "FleetConfig":
-        """Defaults ← ``REPRO_FLEET_*`` environment ← non-None overrides."""
+        """Defaults ← ``REPRO_FLEET_*`` environment ← non-None overrides.
+
+        Parsing goes through :mod:`repro.envcfg` with ``on_error="raise"``:
+        a typo'd fleet knob stops server boot instead of silently running
+        with the default.
+        """
+        from ..envcfg import env_float, env_int
+
         kwargs = {}
         for f in dataclass_fields(cls):
-            raw = os.environ.get(ENV_PREFIX + f.name.upper())
-            if raw is None:
+            name = ENV_PREFIX + f.name.upper()
+            if os.environ.get(name) in (None, ""):
                 continue
-            cast = int if isinstance(f.default, int) else float
-            try:
-                kwargs[f.name] = cast(raw)
-            except ValueError:
-                raise ValueError(
-                    f"{ENV_PREFIX}{f.name.upper()}={raw!r} is not a valid "
-                    f"{cast.__name__}"
-                ) from None
+            read = env_int if isinstance(f.default, int) else env_float
+            kwargs[f.name] = read(name, f.default, on_error="raise")
         for key, value in overrides.items():
             if value is not None:
                 kwargs[key] = value

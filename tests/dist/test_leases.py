@@ -1,0 +1,240 @@
+"""Lease-manager invariants, unit tests + property tests.
+
+The properties mirror the docstring contract of
+:class:`repro.dist.leases.LeaseManager`:
+
+* while a lease is live its unit is never granted to anyone else;
+* an expired lease requeues its unit exactly once (or parks it);
+* a unit is parked exactly when its attempts exhaust the budget, and a
+  parked unit is never granted again;
+* completions are idempotent (first wins), accepted from any worker in
+  any lease state;
+* every added unit is always in exactly one of pending / leased / done /
+  parked.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dist.leases import Lease, LeaseManager
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def manager(ttl=10.0, max_attempts=3):
+    clock = FakeClock()
+    return LeaseManager(ttl=ttl, max_attempts=max_attempts, now=clock), clock
+
+
+class TestBasics:
+    def test_grant_is_exclusive_until_expiry(self):
+        mgr, clock = manager()
+        mgr.add_units(["u1"])
+        lease = mgr.grant("w0")
+        assert lease == Lease("u1", "w0", 1, 10.0)
+        assert mgr.grant("w1") is None  # nothing pending while leased
+        clock.advance(11.0)
+        assert [e[0] for e in mgr.expire()] == ["u1"]
+        assert mgr.grant("w1").worker == "w1"
+
+    def test_renew_extends_only_own_lease(self):
+        mgr, clock = manager(ttl=5.0)
+        mgr.add_units(["u1"])
+        mgr.grant("w0")
+        clock.advance(4.0)
+        assert not mgr.renew("u1", "w1")  # someone else's lease
+        assert not mgr.renew("u2", "w0")  # unknown unit
+        assert mgr.renew("u1", "w0")
+        clock.advance(4.0)
+        assert mgr.expire() == []  # renewed past the original expiry
+
+    def test_duplicate_add_ignored(self):
+        mgr, _ = manager()
+        mgr.add_units(["u1", "u1"])
+        mgr.add_units(["u1"])
+        assert mgr.pending == ("u1",)
+        mgr.grant("w0")
+        mgr.add_units(["u1"])
+        assert mgr.pending == ()
+
+    def test_completion_idempotent_and_lease_agnostic(self):
+        mgr, clock = manager()
+        mgr.add_units(["u1"])
+        mgr.grant("w0")
+        clock.advance(11.0)
+        mgr.expire()
+        mgr.grant("w1")
+        # w0 finishes late: its lease is long gone, result still counts.
+        assert mgr.complete("u1")
+        assert not mgr.complete("u1")  # w1's duplicate is discarded
+        assert mgr.duplicate_completions == 1
+        assert mgr.done == {"u1"}
+        assert mgr.outstanding() == 0
+
+    def test_fail_requeues_then_parks_at_budget(self):
+        mgr, _ = manager(max_attempts=2)
+        mgr.add_units(["u1"])
+        mgr.grant("w0")
+        assert mgr.fail("u1", "w0", "boom") == "retry"
+        mgr.grant("w1")
+        assert mgr.fail("u1", "w1", "boom") == "parked"
+        assert "u1" in mgr.parked
+        assert mgr.grant("w2") is None  # parked units never granted
+
+    def test_stale_fail_reports_ignored(self):
+        mgr, clock = manager()
+        mgr.add_units(["u1"])
+        mgr.grant("w0")
+        assert mgr.fail("u1", "w1", "not mine") is None
+        clock.advance(11.0)
+        mgr.expire()
+        assert mgr.fail("u1", "w0", "late") is None  # lease already swept
+
+    def test_replayed_attempts_count_toward_budget(self):
+        mgr, _ = manager(max_attempts=2)
+        mgr.add_units(["u1"])
+        mgr.record_failed_attempt("u1")  # journal replay of one failure
+        mgr.grant("w0")
+        assert mgr.fail("u1", "w0", "boom") == "parked"
+
+
+# ---------------------------------------------------------------------------
+# Property tests: drive a random op sequence, check invariants throughout.
+# ---------------------------------------------------------------------------
+UNIT_IDS = [f"u{i}" for i in range(6)]
+WORKERS = [f"w{i}" for i in range(3)]
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("add"), st.sampled_from(UNIT_IDS)),
+        st.tuples(st.just("grant"), st.sampled_from(WORKERS)),
+        st.tuples(
+            st.just("complete"), st.sampled_from(UNIT_IDS)
+        ),
+        st.tuples(
+            st.just("fail"),
+            st.sampled_from(UNIT_IDS),
+            st.sampled_from(WORKERS),
+        ),
+        st.tuples(st.just("advance"), st.floats(0.1, 15.0)),
+        st.tuples(st.just("renew"), st.sampled_from(UNIT_IDS),
+                  st.sampled_from(WORKERS)),
+    ),
+    max_size=60,
+)
+
+
+def check_invariants(mgr: LeaseManager):
+    pending = set(mgr.pending)
+    leased = set(mgr.leased)
+    done = mgr.done
+    parked = set(mgr.parked)
+    # Exactly one state per unit.
+    assert not pending & leased
+    assert not pending & done
+    assert not pending & parked
+    assert not leased & done
+    assert not leased & parked
+    assert not done & parked
+    # No duplicate queue entries.
+    assert len(mgr.pending) == len(pending)
+    # Attempt budget: anything still grantable has attempts headroom...
+    for uid in pending:
+        assert mgr.attempts(uid) <= mgr.max_attempts
+    # ...and a live lease's attempt count never exceeds the budget.
+    for uid, lease in mgr.leased.items():
+        assert 1 <= lease.attempt <= mgr.max_attempts
+        assert lease.attempt == mgr.attempts(uid)
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=OPS)
+def test_random_op_sequences_preserve_invariants(ops):
+    clock = FakeClock()
+    mgr = LeaseManager(ttl=5.0, max_attempts=3, now=clock)
+    added = set()
+    for op in ops:
+        if op[0] == "add":
+            mgr.add_units([op[1]])
+            added.add(op[1])
+        elif op[0] == "grant":
+            lease = mgr.grant(op[1])
+            if lease is not None:
+                assert lease.unit_id in added
+        elif op[0] == "complete":
+            # Completions register unknown units as done (the
+            # coordinator may replay a completion ahead of its plan).
+            mgr.complete(op[1])
+            added.add(op[1])
+        elif op[0] == "fail":
+            mgr.fail(op[1], op[2], "boom")
+        elif op[0] == "advance":
+            clock.advance(op[1])
+            for uid, worker, outcome in mgr.expire():
+                assert outcome in ("retry", "parked")
+        elif op[0] == "renew":
+            mgr.renew(op[1], op[2])
+        check_invariants(mgr)
+    # Conservation: every added unit is in exactly one terminal bucket.
+    states = (
+        set(mgr.pending) | set(mgr.leased) | mgr.done | set(mgr.parked)
+    )
+    assert states == {u for u in added if u in states}
+    assert len(set(mgr.pending)) + len(mgr.leased) + len(
+        mgr.done & added
+    ) + len(set(mgr.parked) & added) == len(added)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    nunits=st.integers(1, 6),
+    max_attempts=st.integers(1, 4),
+    fail_rounds=st.integers(0, 6),
+)
+def test_every_unit_eventually_parks_under_permanent_failure(
+    nunits, max_attempts, fail_rounds
+):
+    """Workers that always fail drive every unit to parked within the
+    attempt budget — never an infinite requeue loop."""
+    clock = FakeClock()
+    mgr = LeaseManager(ttl=5.0, max_attempts=max_attempts, now=clock)
+    mgr.add_units([f"u{i}" for i in range(nunits)])
+    grants = 0
+    while True:
+        lease = mgr.grant("w0")
+        if lease is None:
+            break
+        grants += 1
+        mgr.fail(lease.unit_id, "w0", "always broken")
+        assert grants <= nunits * max_attempts, "requeue loop"
+    assert len(mgr.parked) == nunits
+    assert mgr.pending == () and not mgr.leased
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=st.data())
+def test_expiry_reassigns_exactly_once(data):
+    """An expired lease produces exactly one requeue (or park): the unit
+    shows up pending once, and double-sweeping finds nothing."""
+    clock = FakeClock()
+    mgr = LeaseManager(ttl=5.0, max_attempts=10, now=clock)
+    units = [f"u{i}" for i in range(data.draw(st.integers(1, 5)))]
+    mgr.add_units(units)
+    granted = []
+    while (lease := mgr.grant("w0")) is not None:
+        granted.append(lease.unit_id)
+    clock.advance(data.draw(st.floats(5.01, 50.0)))
+    expired = mgr.expire()
+    assert sorted(u for u, _, _ in expired) == sorted(granted)
+    assert mgr.expire() == []  # second sweep: nothing left to expire
+    assert sorted(mgr.pending) == sorted(granted)
+    assert len(mgr.pending) == len(set(mgr.pending))

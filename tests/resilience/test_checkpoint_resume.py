@@ -23,7 +23,6 @@ def _ckpt(**kw):
     kw.setdefault("nsplits", 2)
     kw.setdefault("pieces", [{"fake": 1}])
     kw.setdefault("failure_counts", [0])
-    kw.setdefault("rng_state", {"state": 123})
     kw.setdefault("stats", {"lp_solves": 4})
     return SearchCheckpoint(**kw)
 
@@ -42,7 +41,6 @@ class TestSidecarFile:
         assert got.nsplits == 2
         assert got.pieces == [{"fake": 1}]
         assert got.failure_counts == [0]
-        assert got.rng_state == {"state": 123}
         assert got.stats == {"lp_solves": 4}
 
     def test_missing_file_is_none(self, tmp_path):
@@ -64,6 +62,17 @@ class TestSidecarFile:
         save_checkpoint(path, _ckpt())
         data = json.loads(path.read_text())
         data["version"] = CHECKPOINT_VERSION + 1
+        path.write_text(json.dumps(data))
+        assert load_checkpoint(path, PARAMS) is None
+
+    def test_v1_rng_state_sidecar_ignored(self, tmp_path):
+        """Version-1 sidecars carried a threaded RNG state; the per-piece
+        RNG scheme cannot resume them, so they restart the search."""
+        path = tmp_path / "x.ckpt.json"
+        save_checkpoint(path, _ckpt())
+        data = json.loads(path.read_text())
+        data["version"] = 1
+        data["rng_state"] = {"state": 123}
         path.write_text(json.dumps(data))
         assert load_checkpoint(path, PARAMS) is None
 
